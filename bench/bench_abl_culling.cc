@@ -1,0 +1,78 @@
+// Ablation — culling aggressiveness (§4: "we can unlink and excise one of
+// those nodes"). cull_limit 0 disables CR (MCSCR degenerates to MCS),
+// 1 is the paper's one-per-unlock policy, UINT32_MAX drains all surplus in
+// a single unlock. Reported: throughput, average LWSS, culls and
+// re-provisions. Expected: limit>=1 collapses the LWSS; draining converges
+// marginally faster but does the same steady-state work.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+
+#include "bench/common.h"
+#include "bench/randarray.h"
+
+namespace {
+
+using namespace malthus;
+using namespace malthus::bench;
+
+void CullingPoint(benchmark::State& state, std::uint32_t cull_limit) {
+  const int threads = std::min(16, MaxSweepThreads());
+  for (auto _ : state) {
+    McscrOptions opts;
+    opts.cull_limit = cull_limit;
+    McscrStpLock lock(opts);
+    AdmissionLog log(1 << 21);
+    lock.set_recorder(&log);
+    std::vector<std::uint32_t> shared(256 * 1024, 1);
+    std::vector<std::vector<std::uint32_t>> privates(
+        static_cast<std::size_t>(threads), std::vector<std::uint32_t>(256 * 1024, 1));
+    std::atomic<std::uint64_t> sink{0};
+    BenchConfig config;
+    config.threads = threads;
+    config.duration = DefaultBenchDuration();
+    const BenchResult result = RunFixedTime(config, [&](int t) {
+      XorShift64& rng = ThreadLocalRng();
+      std::uint64_t sum = 0;
+      lock.lock();
+      for (int i = 0; i < 100; ++i) {
+        sum += shared[rng.NextBelow(shared.size())];
+      }
+      lock.unlock();
+      auto& mine = privates[static_cast<std::size_t>(t)];
+      for (int i = 0; i < 400; ++i) {
+        sum += mine[rng.NextBelow(mine.size())];
+      }
+      sink.fetch_add(sum, std::memory_order_relaxed);
+    });
+    ReportResult(state, result);
+    ReportFairness(state, log.Report());
+    state.counters["culls"] = static_cast<double>(lock.culls());
+    state.counters["reprovisions"] = static_cast<double>(lock.reprovisions());
+  }
+}
+
+void RegisterAll() {
+  benchmark::RegisterBenchmark("AblCulling/off",
+                               [](benchmark::State& s) { CullingPoint(s, 0); })
+      ->Iterations(1)
+      ->UseManualTime();
+  benchmark::RegisterBenchmark("AblCulling/one-per-unlock",
+                               [](benchmark::State& s) { CullingPoint(s, 1); })
+      ->Iterations(1)
+      ->UseManualTime();
+  benchmark::RegisterBenchmark("AblCulling/drain",
+                               [](benchmark::State& s) { CullingPoint(s, UINT32_MAX); })
+      ->Iterations(1)
+      ->UseManualTime();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  RegisterAll();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

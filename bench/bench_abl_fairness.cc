@@ -1,0 +1,71 @@
+// Ablation — the fairness-throughput trade-off (§4: "The probability
+// parameter is tunable and reflects the trade-off between fairness and
+// throughput"). Sweeps MCSCR's fairness_one_in over {0 (pure CR), 10, 100,
+// 1000 (paper default), 10000} at a fixed thread count and reports
+// throughput, average LWSS, MTTR and Gini.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+
+#include "bench/common.h"
+#include "bench/randarray.h"
+
+namespace {
+
+using namespace malthus;
+using namespace malthus::bench;
+
+void FairnessPoint(benchmark::State& state, std::uint64_t one_in) {
+  const int threads = std::min(16, MaxSweepThreads());
+  for (auto _ : state) {
+    McscrOptions opts;
+    opts.fairness_one_in = one_in;
+    McscrStpLock lock(opts);
+    AdmissionLog log(1 << 21);
+    lock.set_recorder(&log);
+    BenchConfig config;
+    config.threads = threads;
+    config.duration = DefaultBenchDuration();
+    std::vector<std::vector<std::uint32_t>> privates(
+        static_cast<std::size_t>(threads), std::vector<std::uint32_t>(64 * 1024, 1));
+    std::vector<std::uint32_t> shared(64 * 1024, 1);
+    std::atomic<std::uint64_t> sink{0};
+    const BenchResult result = RunFixedTime(config, [&](int t) {
+      XorShift64& rng = ThreadLocalRng();
+      std::uint64_t sum = 0;
+      lock.lock();
+      for (int i = 0; i < 50; ++i) {
+        sum += shared[rng.NextBelow(shared.size())];
+      }
+      lock.unlock();
+      auto& mine = privates[static_cast<std::size_t>(t)];
+      for (int i = 0; i < 200; ++i) {
+        sum += mine[rng.NextBelow(mine.size())];
+      }
+      sink.fetch_add(sum, std::memory_order_relaxed);
+    });
+    ReportResult(state, result);
+    ReportFairness(state, log.Report());
+    state.counters["fairness_grants"] = static_cast<double>(lock.fairness_grants());
+  }
+}
+
+void RegisterAll() {
+  for (const std::uint64_t one_in : {0ull, 10ull, 100ull, 1000ull, 10000ull}) {
+    benchmark::RegisterBenchmark(
+        ("AblFairness/one_in:" + std::to_string(one_in)).c_str(),
+        [one_in](benchmark::State& s) { FairnessPoint(s, one_in); })
+        ->Iterations(1)
+        ->UseManualTime();
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  RegisterAll();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Ablation — spin-then-park budget (§5.1). The paper fixes the budget at
+// ~20000 cycles (one context-switch round trip; Karlin's 2-competitive
+// point). This sweep shows the regime: budget 0 degenerates to pure
+// parking (handover pays a kernel wake), a moderate budget keeps the
+// MCSCR successor spinning (cheap grants), and oversized budgets waste
+// pipeline when threads should be parked. Two thread counts: near the core
+// count and oversubscribed.
+#include <benchmark/benchmark.h>
+
+#include "bench/common.h"
+#include "src/platform/sysinfo.h"
+
+namespace {
+
+using namespace malthus;
+using namespace malthus::bench;
+
+void SpinBudgetPoint(benchmark::State& state, std::uint32_t budget, int threads) {
+  for (auto _ : state) {
+    McscrOptions opts;
+    opts.spin_budget = budget;
+    McscrStpLock lock(opts);
+    const std::uint64_t parks_before = TotalKernelParks();
+    BenchConfig config;
+    config.threads = threads;
+    config.duration = DefaultBenchDuration();
+    const BenchResult result = RunFixedTime(config, [&](int) {
+      lock.lock();
+      volatile int sink = 0;
+      for (int i = 0; i < 50; ++i) {
+        sink = sink + i;
+      }
+      lock.unlock();
+    });
+    ReportResult(state, result);
+    state.counters["kernel_parks"] = static_cast<double>(TotalKernelParks() - parks_before);
+  }
+}
+
+void RegisterAll() {
+  const int cpus = LogicalCpuCount();
+  for (const int threads : {cpus, 2 * cpus}) {
+    for (const std::uint32_t budget : {0u, 100u, 1000u, 10000u, 100000u}) {
+      benchmark::RegisterBenchmark(("AblSpinBudget/threads:" + std::to_string(threads) +
+                                    "/budget:" + std::to_string(budget))
+                                       .c_str(),
+                                   [budget, threads](benchmark::State& s) {
+                                     SpinBudgetPoint(s, budget, threads);
+                                   })
+          ->Iterations(1)
+          ->UseManualTime();
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  RegisterAll();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Ablation — CR imposed outside the lock (§A.1's throttling transformation)
+// versus CR built into the lock (MCSCR). ThrottledLock<MCS> with a static
+// K gates circulation through a mostly-LIFO K-exclusion semaphore; MCSCR
+// sizes its ACS emergently. Sweeping K shows the cost of getting the static
+// guess wrong in either direction, which is the argument for MCSCR's
+// parameter parsimony.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "bench/common.h"
+#include "src/core/throttle.h"
+
+namespace {
+
+using namespace malthus;
+using namespace malthus::bench;
+
+constexpr std::size_t kWords = 256 * 1024;
+
+template <typename Lock>
+double RunWorkload(Lock& lock, int threads) {
+  std::vector<std::uint32_t> shared(kWords, 1);
+  std::vector<std::vector<std::uint32_t>> privates(
+      static_cast<std::size_t>(threads), std::vector<std::uint32_t>(kWords, 1));
+  std::atomic<std::uint64_t> sink{0};
+  BenchConfig config;
+  config.threads = threads;
+  config.duration = DefaultBenchDuration();
+  const BenchResult result = RunFixedTime(config, [&](int t) {
+    XorShift64& rng = ThreadLocalRng();
+    std::uint64_t sum = 0;
+    lock.lock();
+    for (int i = 0; i < 100; ++i) {
+      sum += shared[rng.NextBelow(kWords)];
+    }
+    lock.unlock();
+    auto& mine = privates[static_cast<std::size_t>(t)];
+    for (int i = 0; i < 400; ++i) {
+      sum += mine[rng.NextBelow(kWords)];
+    }
+    sink.fetch_add(sum, std::memory_order_relaxed);
+  });
+  return result.Throughput();
+}
+
+void ThrottlePoint(benchmark::State& state, std::uint32_t k, int threads) {
+  for (auto _ : state) {
+    ThrottleOptions opts;
+    opts.max_circulating = k;
+    ThrottledLock<McsStpLock> lock(opts);
+    state.counters["ops_per_sec"] = RunWorkload(lock, threads);
+    state.counters["throttled"] = static_cast<double>(lock.throttled());
+  }
+}
+
+void McscrPoint(benchmark::State& state, int threads) {
+  for (auto _ : state) {
+    McscrStpLock lock;
+    state.counters["ops_per_sec"] = RunWorkload(lock, threads);
+  }
+}
+
+void RegisterAll() {
+  const int threads = 16;
+  benchmark::RegisterBenchmark("AblThrottle/mcscr-emergent",
+                               [threads](benchmark::State& s) { McscrPoint(s, threads); })
+      ->Iterations(1);
+  for (const std::uint32_t k : {2u, 4u, 6u, 8u, 12u}) {
+    benchmark::RegisterBenchmark(("AblThrottle/static-k:" + std::to_string(k)).c_str(),
+                                 [k, threads](benchmark::State& s) {
+                                   ThrottlePoint(s, k, threads);
+                                 })
+        ->Iterations(1);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  RegisterAll();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,57 @@
+// §6.1 validation instrument — the "special version of RandArray" with the
+// functional cache emulation: replays FIFO vs CR admission schedules and
+// reports the CS miss decomposition (cold / self / extrinsic). The paper's
+// claim: MCS's collapse is driven by *extrinsic* misses (other threads'
+// NCS data evicting CS lines), and CR removes them once the ACS footprint
+// fits the cache. Deterministic and host-independent.
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "src/cachesim/replay.h"
+#include "src/platform/sysinfo.h"
+
+namespace {
+
+using namespace malthus;
+
+void ReplayPoint(benchmark::State& state, std::uint32_t acs_size) {
+  ReplayConfig config;
+  config.threads = 16;
+  config.total_admissions = 6000;
+  CacheConfig llc;
+  llc.size_bytes = 8u << 20;
+  llc.ways = 16;
+  for (auto _ : state) {
+    const AdmissionSchedule schedule =
+        acs_size == 0 ? MakeFifoSchedule(config.threads, config.total_admissions)
+                      : MakeCrSchedule(config.threads, acs_size, config.total_admissions, 1000);
+    const ReplayResult result = ReplaySchedule(config, llc, schedule);
+    state.counters["cs_miss_rate"] = result.cs_miss_rate;
+    state.counters["cs_extrinsic_rate"] = result.cs_extrinsic_rate;
+    state.counters["cs_self"] = static_cast<double>(result.cs_stats.self_misses);
+    state.counters["cs_extrinsic"] = static_cast<double>(result.cs_stats.extrinsic_misses);
+    state.counters["cs_cold"] = static_cast<double>(result.cs_stats.cold_misses);
+  }
+}
+
+void RegisterAll() {
+  benchmark::RegisterBenchmark("CacheReplay/fifo-16-threads",
+                               [](benchmark::State& s) { ReplayPoint(s, 0); })
+      ->Iterations(1);
+  for (const std::uint32_t acs : {2u, 4u, 5u, 6u, 8u, 12u}) {
+    benchmark::RegisterBenchmark(("CacheReplay/cr-acs-" + std::to_string(acs)).c_str(),
+                                 [acs](benchmark::State& s) { ReplayPoint(s, acs); })
+        ->Iterations(1);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  RegisterAll();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Figure 1 — "Impact of Concurrency Restriction": the idealized throughput
+// curve with and without CR from the analytic model, using the paper's
+// worked parameters (CS = 1 us, NCS = 5 us, 1 MB/thread footprint, 8 MB
+// LLC). One benchmark row per thread count; counters carry both curves.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "src/model/throughput_model.h"
+
+namespace {
+
+const malthus::ModelParams kParams{};  // Paper defaults.
+
+void Fig1Point(benchmark::State& state) {
+  const malthus::ThroughputModel model(kParams);
+  const int threads = static_cast<int>(state.range(0));
+  double with_cr = 0;
+  double without_cr = 0;
+  for (auto _ : state) {
+    without_cr = model.ThroughputWithoutCr(threads);
+    with_cr = model.ThroughputWithCr(threads);
+    benchmark::DoNotOptimize(with_cr);
+  }
+  state.counters["without_cr_ops"] = without_cr;
+  state.counters["with_cr_ops"] = with_cr;
+}
+
+BENCHMARK(Fig1Point)->DenseRange(1, 16, 1)->Arg(24)->Arg(32)->Arg(48)->Arg(64);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  const malthus::ThroughputModel model(kParams);
+  std::printf("# Figure 1 landmarks: saturation=%d peak=%d\n", model.Saturation(),
+              model.PeakThreads(128));
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Figure 2 — "Comparison of TAS and MCS locks". The paper's table is
+// qualitative; this bench backs each row with a measurement:
+//   * latency            — uncontended lock+unlock round trip,
+//   * high-contention    — throughput at 8 threads,
+//   * preemption         — throughput at 2x logical CPUs (lock-waiter
+//                          preemption punishes MCS's direct handoff),
+//   * fairness           — Gini over per-thread acquisition counts under
+//                          contention (TAS barges; MCS is FIFO-fair).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+
+#include "bench/common.h"
+#include "src/platform/sysinfo.h"
+
+namespace {
+
+using namespace malthus;
+using namespace malthus::bench;
+
+void UncontendedLatency(benchmark::State& state, const std::string& lock_name) {
+  auto lock = MakeLock(lock_name);
+  for (auto _ : state) {
+    lock->lock();
+    lock->unlock();
+  }
+}
+
+void ContendedThroughput(benchmark::State& state, const std::string& lock_name, int threads) {
+  auto lock = MakeLock(lock_name);
+  AdmissionLog log(1 << 20);
+  lock->set_recorder(&log);
+  BenchConfig config;
+  config.threads = threads;
+  config.duration = DefaultBenchDuration();
+  for (auto _ : state) {
+    const BenchResult result = RunFixedTime(config, [&](int) {
+      lock->lock();
+      lock->unlock();
+    });
+    ReportResult(state, result);
+    ReportFairness(state, log.Report());
+    log.Reset();
+  }
+}
+
+void RegisterAll() {
+  for (const std::string name : {"tas", "mcs-s", "mcs-stp"}) {
+    benchmark::RegisterBenchmark(("Fig2/latency/" + name).c_str(),
+                                 [name](benchmark::State& s) { UncontendedLatency(s, name); });
+    benchmark::RegisterBenchmark(
+        ("Fig2/contended8/" + name).c_str(),
+        [name](benchmark::State& s) { ContendedThroughput(s, name, 8); })
+        ->Iterations(1)
+        ->UseManualTime();
+    benchmark::RegisterBenchmark(
+        ("Fig2/oversubscribed/" + name).c_str(),
+        [name](benchmark::State& s) {
+          ContendedThroughput(s, name, 2 * LogicalCpuCount());
+        })
+        ->Iterations(1)
+        ->UseManualTime();
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  RegisterAll();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Figure 3 — "Random Access Array": aggregate throughput vs thread count
+// for MCS-S, MCS-STP, MCSCR-S, MCSCR-STP and the degenerate null lock.
+//
+// Expected shape (paper): all locks track each other to ~5 threads; the MCS
+// forms collapse once the aggregate footprint crosses the LLC; MCSCR-S
+// fades at the core count (spinning PS competes for pipelines); MCS-S and
+// MCSCR-S cliff at the logical CPU count; MCSCR-STP holds its plateau
+// everywhere and dominates at high thread counts.
+#include <benchmark/benchmark.h>
+
+#include "bench/common.h"
+#include "bench/randarray.h"
+
+namespace {
+
+using namespace malthus;
+using namespace malthus::bench;
+
+void Fig3Point(benchmark::State& state, const std::string& lock_name, int threads) {
+  for (auto _ : state) {
+    const RandArrayOutcome outcome =
+        RunRandArray(lock_name, threads, DefaultBenchDuration());
+    ReportResult(state, outcome.result);
+    ReportFairness(state, outcome.fairness);
+  }
+}
+
+void RegisterAll() {
+  const auto thread_counts = SweepThreadCounts(MaxSweepThreads());
+  const std::vector<std::string> locks = {"mcs-s", "mcs-stp", "mcscr-s", "mcscr-stp", "null"};
+  for (const auto& lock_name : locks) {
+    for (const int threads : thread_counts) {
+      benchmark::RegisterBenchmark(
+          ("Fig3/" + lock_name + "/threads:" + std::to_string(threads)).c_str(),
+          [lock_name, threads](benchmark::State& s) { Fig3Point(s, lock_name, threads); })
+          ->Iterations(1)
+          ->UseManualTime();
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  RegisterAll();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Figure 5 — RingWalker: core-level DTLB pressure. Each thread owns a
+// private circularly-linked ring of 50 elements, one element per page; a
+// shared ring serves the critical section. The NCS walks 50 private
+// elements; the CS advances 10 shared elements. Walk state persists across
+// iterations. Element offsets within their pages are randomly colored to
+// avoid cache index conflicts (paper §6.2).
+//
+// On the T5 the inflection lands where two ACS members share a 128-entry
+// TLB; on x86 the shape reproduces against the (typically smaller) L1 DTLB.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "bench/common.h"
+#include "src/rng/xorshift.h"
+
+namespace {
+
+using namespace malthus;
+using namespace malthus::bench;
+
+constexpr std::size_t kPageBytes = 4096;
+constexpr int kRingElements = 50;
+constexpr int kNcsSteps = 50;
+constexpr int kCsSteps = 10;
+
+// A ring of pointers, one element per page, at a random offset in its page.
+class PageRing {
+ public:
+  explicit PageRing(std::uint64_t seed) {
+    XorShift64 rng(seed);
+    pages_ = std::make_unique<std::byte[]>(kPageBytes * (kRingElements + 1));
+    // Align to page granularity inside the slab.
+    auto base = reinterpret_cast<std::uintptr_t>(pages_.get());
+    const std::uintptr_t aligned = (base + kPageBytes - 1) & ~(kPageBytes - 1);
+    std::vector<void**> nodes;
+    nodes.reserve(kRingElements);
+    for (int i = 0; i < kRingElements; ++i) {
+      // Random color: offset in [0, kPageBytes - 64), 8-byte aligned.
+      const std::uintptr_t offset = (rng.NextBelow((kPageBytes - 64) / 8)) * 8;
+      nodes.push_back(
+          reinterpret_cast<void**>(aligned + static_cast<std::uintptr_t>(i) * kPageBytes + offset));
+    }
+    for (int i = 0; i < kRingElements; ++i) {
+      *nodes[static_cast<std::size_t>(i)] = nodes[static_cast<std::size_t>((i + 1) % kRingElements)];
+    }
+    cursor_ = nodes[0];
+  }
+
+  // Advances `steps` elements, returning the new cursor.
+  void Walk(int steps) {
+    void** p = cursor_;
+    for (int i = 0; i < steps; ++i) {
+      p = reinterpret_cast<void**>(*p);
+    }
+    cursor_ = p;
+  }
+
+ private:
+  std::unique_ptr<std::byte[]> pages_;
+  void** cursor_;
+};
+
+void Fig5Point(benchmark::State& state, const std::string& lock_name, int threads) {
+  for (auto _ : state) {
+    auto lock = MakeLock(lock_name);
+    PageRing shared_ring(1);
+    std::vector<std::unique_ptr<PageRing>> private_rings;
+    for (int t = 0; t < threads; ++t) {
+      private_rings.push_back(std::make_unique<PageRing>(100 + static_cast<std::uint64_t>(t)));
+    }
+    BenchConfig config;
+    config.threads = threads;
+    config.duration = DefaultBenchDuration();
+    const BenchResult result = RunFixedTime(config, [&](int t) {
+      lock->lock();
+      shared_ring.Walk(kCsSteps);
+      lock->unlock();
+      private_rings[static_cast<std::size_t>(t)]->Walk(kNcsSteps);
+    });
+    ReportResult(state, result);
+  }
+}
+
+void RegisterAll() {
+  const auto thread_counts = SweepThreadCounts(MaxSweepThreads());
+  for (const std::string lock_name : {"mcs-s", "mcs-stp", "mcscr-s", "mcscr-stp"}) {
+    for (const int threads : thread_counts) {
+      benchmark::RegisterBenchmark(
+          ("Fig5/" + lock_name + "/threads:" + std::to_string(threads)).c_str(),
+          [lock_name, threads](benchmark::State& s) { Fig5Point(s, lock_name, threads); })
+          ->Iterations(1)
+          ->UseManualTime();
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  RegisterAll();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

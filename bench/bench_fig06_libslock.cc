@@ -1,0 +1,63 @@
+// Figure 6 — libslock "stress_latency": a cycle-bound delay-loop benchmark
+// (CS = 200 delay iterations, NCS = 5000; the paper's command line was
+// -a 200 -p 5000). Almost no memory is touched, so the figure isolates
+// competition for pipelines and logical CPUs: the main inflection for
+// spin-waiting locks appears at the core count, and the cliff at the
+// logical CPU count.
+#include <benchmark/benchmark.h>
+
+#include "bench/common.h"
+
+namespace {
+
+using namespace malthus;
+using namespace malthus::bench;
+
+constexpr int kCsDelay = 200;
+constexpr int kNcsDelay = 5000;
+
+inline void DelayLoop(int iterations) {
+  volatile int sink = 0;
+  for (int i = 0; i < iterations; ++i) {
+    sink = sink + 1;
+  }
+}
+
+void Fig6Point(benchmark::State& state, const std::string& lock_name, int threads) {
+  for (auto _ : state) {
+    auto lock = MakeLock(lock_name);
+    BenchConfig config;
+    config.threads = threads;
+    config.duration = DefaultBenchDuration();
+    const BenchResult result = RunFixedTime(config, [&](int) {
+      lock->lock();
+      DelayLoop(kCsDelay);
+      lock->unlock();
+      DelayLoop(kNcsDelay);
+    });
+    ReportResult(state, result);
+  }
+}
+
+void RegisterAll() {
+  const auto thread_counts = SweepThreadCounts(MaxSweepThreads());
+  for (const std::string lock_name : {"mcs-s", "mcs-stp", "mcscr-s", "mcscr-stp"}) {
+    for (const int threads : thread_counts) {
+      benchmark::RegisterBenchmark(
+          ("Fig6/" + lock_name + "/threads:" + std::to_string(threads)).c_str(),
+          [lock_name, threads](benchmark::State& s) { Fig6Point(s, lock_name, threads); })
+          ->Iterations(1)
+          ->UseManualTime();
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  RegisterAll();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

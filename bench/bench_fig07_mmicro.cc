@@ -1,0 +1,91 @@
+// Figure 7 — mmicro: malloc-free scalability against a central-lock
+// splay-tree allocator (the default-Solaris-allocator stand-in). Each outer
+// iteration allocates and zeroes a batch of 1000-byte blocks and then frees
+// them; every malloc/free takes the central lock. The reported rate is
+// malloc-free pairs per millisecond, as in the paper.
+//
+// The paper's batch is 1000 blocks; the default here is 100 (env
+// MALTHUS_MMICRO_BATCH overrides) so the full-suite run stays fast — the
+// contention structure is identical, only the iteration granularity
+// changes.
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "bench/common.h"
+#include "src/alloc/splay_heap.h"
+
+namespace {
+
+using namespace malthus;
+using namespace malthus::bench;
+
+int BatchSize() {
+  const char* env = std::getenv("MALTHUS_MMICRO_BATCH");
+  if (env != nullptr) {
+    const int v = std::atoi(env);
+    if (v > 0) {
+      return v;
+    }
+  }
+  return 100;
+}
+
+template <typename Lock>
+void RunMmicro(benchmark::State& state, int threads) {
+  const int batch = BatchSize();
+  for (auto _ : state) {
+    // Arena sized for the worst case live set plus slack.
+    LockedHeap<Lock> heap((static_cast<std::size_t>(threads) * static_cast<std::size_t>(batch) *
+                           1200) + (64u << 20));
+    std::vector<std::vector<void*>> slots(static_cast<std::size_t>(threads),
+                                          std::vector<void*>(static_cast<std::size_t>(batch)));
+    BenchConfig config;
+    config.threads = threads;
+    config.duration = DefaultBenchDuration();
+    const BenchResult result = RunFixedTime(config, [&](int t) {
+      auto& mine = slots[static_cast<std::size_t>(t)];
+      for (int i = 0; i < batch; ++i) {
+        void* p = heap.Allocate(1000);
+        if (p != nullptr) {
+          std::memset(p, 0, 1000);
+        }
+        mine[static_cast<std::size_t>(i)] = p;
+      }
+      for (int i = 0; i < batch; ++i) {
+        heap.Free(mine[static_cast<std::size_t>(i)]);
+      }
+    });
+    ReportResult(state, result);
+    // Pairs per millisecond, the paper's Y axis (one iteration = batch pairs).
+    state.counters["pairs_per_ms"] =
+        result.Throughput() * static_cast<double>(batch) / 1000.0;
+  }
+}
+
+void RegisterAll() {
+  const auto thread_counts = SweepThreadCounts(MaxSweepThreads());
+  for (const std::string lock_name : {"mcs-s", "mcs-stp", "mcscr-s", "mcscr-stp"}) {
+    for (const int threads : thread_counts) {
+      benchmark::RegisterBenchmark(
+          ("Fig7/" + lock_name + "/threads:" + std::to_string(threads)).c_str(),
+          [lock_name, threads](benchmark::State& s) {
+            WithLockType(lock_name, [&]<typename L>() { RunMmicro<L>(s, threads); });
+          })
+          ->Iterations(1)
+          ->UseManualTime();
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  RegisterAll();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

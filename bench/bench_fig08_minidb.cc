@@ -1,0 +1,70 @@
+// Figure 8 — leveldb db_bench readwhilewriting, reproduced over minidb
+// (DESIGN.md §2): one writer continuously Put()s random keys while N-1
+// readers Get() random keys. The central DB mutex and the block-cache
+// mutex are both contended — the two locks the paper identifies as the
+// CR-amenable path. Reported rate is total operations/second.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "bench/common.h"
+#include "src/minidb/minidb.h"
+
+namespace {
+
+using namespace malthus;
+using namespace malthus::bench;
+
+constexpr std::uint64_t kKeyRange = 200000;
+
+template <typename Lock>
+void RunReadWhileWriting(benchmark::State& state, int threads) {
+  for (auto _ : state) {
+    auto db = std::make_unique<MiniDb<Lock>>(/*cache_blocks=*/4096);
+    for (std::uint64_t k = 0; k < kKeyRange; k += 4) {
+      db->Put(k, "seed-value");
+    }
+    BenchConfig config;
+    config.threads = threads;
+    config.duration = DefaultBenchDuration();
+    const BenchResult result = RunFixedTime(config, [&](int t) {
+      XorShift64& rng = ThreadLocalRng();
+      const std::uint64_t key = rng.NextBelow(kKeyRange);
+      if (t == 0) {
+        db->Put(key, "fresh-value");  // The single writer.
+      } else {
+        benchmark::DoNotOptimize(db->Get(key));
+      }
+    });
+    ReportResult(state, result);
+    state.counters["cache_miss_rate"] = db->CacheMissRate();
+  }
+}
+
+void RegisterAll() {
+  const auto thread_counts = SweepThreadCounts(MaxSweepThreads());
+  for (const std::string lock_name : {"mcs-s", "mcs-stp", "mcscr-s", "mcscr-stp"}) {
+    for (const int threads : thread_counts) {
+      if (threads < 2) {
+        continue;  // readwhilewriting needs at least one reader.
+      }
+      benchmark::RegisterBenchmark(
+          ("Fig8/" + lock_name + "/threads:" + std::to_string(threads)).c_str(),
+          [lock_name, threads](benchmark::State& s) {
+            WithLockType(lock_name, [&]<typename L>() { RunReadWhileWriting<L>(s, threads); });
+          })
+          ->Iterations(1)
+          ->UseManualTime();
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  RegisterAll();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Figure 9 — Kyoto Cabinet kccachetest "wicked" over kchash (DESIGN.md §2):
+// a mixed set/get/remove workload against an in-memory hash cache DB behind
+// one central mutex, fixed key range (paper: 10M; default here 1M, env
+// MALTHUS_KC_KEYRANGE overrides), fixed-time methodology.
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <memory>
+
+#include "bench/common.h"
+#include "src/kchash/kchash.h"
+
+namespace {
+
+using namespace malthus;
+using namespace malthus::bench;
+
+std::uint64_t KeyRange() {
+  const char* env = std::getenv("MALTHUS_KC_KEYRANGE");
+  if (env != nullptr) {
+    const long long v = std::atoll(env);
+    if (v > 0) {
+      return static_cast<std::uint64_t>(v);
+    }
+  }
+  return 1000000;
+}
+
+template <typename Lock>
+void RunKcCache(benchmark::State& state, int threads) {
+  const std::uint64_t key_range = KeyRange();
+  for (auto _ : state) {
+    auto db = std::make_unique<LockedKcHash<Lock>>(1 << 16, /*capacity=*/100000);
+    // Warm the DB to its capacity point.
+    XorShift64 warm(9);
+    for (int i = 0; i < 100000; ++i) {
+      db->Set(warm.NextBelow(key_range), "warm");
+    }
+    BenchConfig config;
+    config.threads = threads;
+    config.duration = DefaultBenchDuration();
+    const BenchResult result = RunFixedTime(config, [&](int) {
+      db->WickedStep(ThreadLocalRng(), key_range);
+    });
+    ReportResult(state, result);
+  }
+}
+
+void RegisterAll() {
+  const auto thread_counts = SweepThreadCounts(MaxSweepThreads());
+  for (const std::string lock_name : {"mcs-s", "mcs-stp", "mcscr-s", "mcscr-stp"}) {
+    for (const int threads : thread_counts) {
+      benchmark::RegisterBenchmark(
+          ("Fig9/" + lock_name + "/threads:" + std::to_string(threads)).c_str(),
+          [lock_name, threads](benchmark::State& s) {
+            WithLockType(lock_name, [&]<typename L>() { RunKcCache<L>(s, threads); });
+          })
+          ->Iterations(1)
+          ->UseManualTime();
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  RegisterAll();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Figure 11 — keymap: threads update a central std::unordered_map under
+// the lock. Each thread owns a 1000-entry keyset; with probability 0.9 the
+// CS updates the map with an existing keyset key, else it generates a new
+// random key, replaces a keyset slot, and updates the map. The NCS advances
+// a std::mt19937 1000 times. The map is pre-populated over the whole key
+// range so the measurement interval performs no allocation (§6.8).
+//
+// Paper key range: 10M; default here 1M (env MALTHUS_KEYMAP_RANGE) to keep
+// the default suite light — the map still dwarfs the LLC either way.
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <memory>
+#include <random>
+#include <unordered_map>
+#include <vector>
+
+#include "bench/common.h"
+
+namespace {
+
+using namespace malthus;
+using namespace malthus::bench;
+
+std::uint64_t KeyRange() {
+  const char* env = std::getenv("MALTHUS_KEYMAP_RANGE");
+  if (env != nullptr) {
+    const long long v = std::atoll(env);
+    if (v > 0) {
+      return static_cast<std::uint64_t>(v);
+    }
+  }
+  return 1000000;
+}
+
+void Fig11Point(benchmark::State& state, const std::string& lock_name, int threads) {
+  const std::uint64_t key_range = KeyRange();
+  for (auto _ : state) {
+    auto lock = MakeLock(lock_name);
+    auto map = std::make_unique<std::unordered_map<int, int>>();
+    map->reserve(key_range);
+    for (std::uint64_t k = 0; k < key_range; ++k) {
+      (*map)[static_cast<int>(k)] = 0;
+    }
+    std::vector<std::vector<int>> keysets(static_cast<std::size_t>(threads),
+                                          std::vector<int>(1000));
+    std::vector<std::mt19937> ncs_rngs;
+    for (int t = 0; t < threads; ++t) {
+      XorShift64 init(static_cast<std::uint64_t>(t) + 5);
+      for (auto& k : keysets[static_cast<std::size_t>(t)]) {
+        k = static_cast<int>(init.NextBelow(key_range));
+      }
+      ncs_rngs.emplace_back(static_cast<std::uint32_t>(t) + 7);
+    }
+
+    BenchConfig config;
+    config.threads = threads;
+    config.duration = DefaultBenchDuration();
+    const BenchResult result = RunFixedTime(config, [&](int t) {
+      XorShift64& rng = ThreadLocalRng();
+      auto& keyset = keysets[static_cast<std::size_t>(t)];
+      const std::size_t slot = rng.NextBelow(keyset.size());
+      int key;
+      if (rng.BernoulliP(0.9)) {
+        key = keyset[slot];
+      } else {
+        key = static_cast<int>(rng.NextBelow(key_range));
+        keyset[slot] = key;
+      }
+      lock->lock();
+      (*map)[key] = static_cast<int>(slot);
+      lock->unlock();
+      auto& mt = ncs_rngs[static_cast<std::size_t>(t)];
+      std::uint32_t sink = 0;
+      for (int i = 0; i < 1000; ++i) {
+        sink += mt();
+      }
+      benchmark::DoNotOptimize(sink);
+    });
+    ReportResult(state, result);
+  }
+}
+
+void RegisterAll() {
+  const auto thread_counts = SweepThreadCounts(MaxSweepThreads());
+  for (const std::string lock_name : {"mcs-s", "mcs-stp", "mcscr-s", "mcscr-stp"}) {
+    for (const int threads : thread_counts) {
+      benchmark::RegisterBenchmark(
+          ("Fig11/" + lock_name + "/threads:" + std::to_string(threads)).c_str(),
+          [lock_name, threads](benchmark::State& s) { Fig11Point(s, lock_name, threads); })
+          ->Iterations(1)
+          ->UseManualTime();
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  RegisterAll();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

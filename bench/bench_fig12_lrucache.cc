@@ -1,0 +1,94 @@
+// Figure 12 — LRUCache: keymap's structure, but the critical section is a
+// lookup in a shared SimpleLRU (std::map + recency list, capacity 10000,
+// single mutex). On a miss the key itself is installed as the value. Key
+// range 1M; per-thread keyset of 1000 with replacement probability 0.01
+// (§6.9). Threads compete for occupancy of the *software* cache, the
+// perfect-associativity analogue of the hardware LLC.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <random>
+#include <vector>
+
+#include "bench/common.h"
+#include "src/minidb/simple_lru.h"
+
+namespace {
+
+using namespace malthus;
+using namespace malthus::bench;
+
+constexpr std::uint64_t kKeyRange = 1000000;
+constexpr std::size_t kCacheCapacity = 10000;
+
+template <typename Lock>
+void RunLruCache(benchmark::State& state, int threads) {
+  for (auto _ : state) {
+    auto cache = std::make_unique<SimpleLru<Lock>>(kCacheCapacity, /*track_displacement=*/true);
+    std::vector<std::vector<std::uint64_t>> keysets(static_cast<std::size_t>(threads),
+                                                    std::vector<std::uint64_t>(1000));
+    std::vector<std::mt19937> ncs_rngs;
+    for (int t = 0; t < threads; ++t) {
+      XorShift64 init(static_cast<std::uint64_t>(t) + 11);
+      for (auto& k : keysets[static_cast<std::size_t>(t)]) {
+        k = init.NextBelow(kKeyRange);
+      }
+      ncs_rngs.emplace_back(static_cast<std::uint32_t>(t) + 13);
+    }
+
+    BenchConfig config;
+    config.threads = threads;
+    config.duration = DefaultBenchDuration();
+    const BenchResult result = RunFixedTime(config, [&](int t) {
+      XorShift64& rng = ThreadLocalRng();
+      auto& keyset = keysets[static_cast<std::size_t>(t)];
+      const std::size_t slot = rng.NextBelow(keyset.size());
+      if (rng.BernoulliP(0.01)) {
+        keyset[slot] = rng.NextBelow(kKeyRange);
+      }
+      const std::uint64_t key = keyset[slot];
+      if (!cache->Lookup(key, static_cast<std::uint32_t>(t)).has_value()) {
+        cache->Insert(key, key, static_cast<std::uint32_t>(t));
+      }
+      auto& mt = ncs_rngs[static_cast<std::size_t>(t)];
+      std::uint32_t sink = 0;
+      for (int i = 0; i < 1000; ++i) {
+        sink += mt();
+      }
+      benchmark::DoNotOptimize(sink);
+    });
+    ReportResult(state, result);
+    state.counters["sw_cache_miss_rate"] = cache->MissRate();
+    const double displacements = static_cast<double>(cache->self_displacements() +
+                                                     cache->extrinsic_displacements());
+    if (displacements > 0) {
+      state.counters["extrinsic_displacement_frac"] =
+          static_cast<double>(cache->extrinsic_displacements()) / displacements;
+    }
+  }
+}
+
+void RegisterAll() {
+  const auto thread_counts = SweepThreadCounts(MaxSweepThreads());
+  for (const std::string lock_name : {"mcs-s", "mcs-stp", "mcscr-s", "mcscr-stp"}) {
+    for (const int threads : thread_counts) {
+      benchmark::RegisterBenchmark(
+          ("Fig12/" + lock_name + "/threads:" + std::to_string(threads)).c_str(),
+          [lock_name, threads](benchmark::State& s) {
+            WithLockType(lock_name, [&]<typename L>() { RunLruCache<L>(s, threads); });
+          })
+          ->Iterations(1)
+          ->UseManualTime();
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  RegisterAll();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

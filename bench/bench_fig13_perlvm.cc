@@ -1,0 +1,85 @@
+// Figure 13 — RandArray transliterated to an interpreted language (perl in
+// the paper; our bytecode VM here, DESIGN.md §2). The lock construct
+// mirrors perl's: an MCS mutex + condition variable + owner field, so
+// waiting happens on the condvar and CR is applied through the condvar's
+// queue discipline. Two series: FIFO (append_probability 1) vs mostly-LIFO
+// (1/1000). Arrays have 50000 elements as in the paper; CS interprets 100
+// random-access iterations over the shared array, NCS 400 over the private
+// one. Absolute rates are far below native RandArray — interpretation
+// overhead — which is itself part of the figure's point.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "bench/common.h"
+#include "src/vm/program.h"
+#include "src/vm/vm_lock.h"
+
+namespace {
+
+using namespace malthus;
+using namespace malthus::bench;
+
+constexpr std::size_t kArrayLen = 50000;
+
+void RunPerlVm(benchmark::State& state, double cv_append_p, int threads) {
+  for (auto _ : state) {
+    vm::VmLock lock(CrCondVarOptions{.append_probability = cv_append_p});
+    std::vector<std::int64_t> shared_array(kArrayLen, 1);
+    struct ThreadVm {
+      std::unique_ptr<vm::Context> ctx;
+      vm::Program cs;
+      vm::Program ncs;
+    };
+    std::vector<ThreadVm> vms;
+    for (int t = 0; t < threads; ++t) {
+      ThreadVm tv;
+      tv.ctx = std::make_unique<vm::Context>(static_cast<std::uint64_t>(t) + 21);
+      const int shared_id = tv.ctx->AddSharedArray(&shared_array);
+      const int private_id = tv.ctx->AddArray(kArrayLen);
+      tv.cs = vm::BuildRandArrayLoop(shared_id, 100);
+      tv.ncs = vm::BuildRandArrayLoop(private_id, 400);
+      vms.push_back(std::move(tv));
+    }
+
+    BenchConfig config;
+    config.threads = threads;
+    config.duration = DefaultBenchDuration();
+    const BenchResult result = RunFixedTime(config, [&](int t) {
+      ThreadVm& tv = vms[static_cast<std::size_t>(t)];
+      lock.lock();
+      vm::Interp::Run(tv.cs, *tv.ctx);
+      lock.unlock();
+      vm::Interp::Run(tv.ncs, *tv.ctx);
+    });
+    ReportResult(state, result);
+  }
+}
+
+void RegisterAll() {
+  const auto thread_counts = SweepThreadCounts(MaxSweepThreads());
+  struct Series {
+    const char* name;
+    double p;
+  };
+  for (const Series series : {Series{"fifo", 1.0}, Series{"mostly-lifo", 1.0 / 1000}}) {
+    for (const int threads : thread_counts) {
+      benchmark::RegisterBenchmark(
+          (std::string("Fig13/") + series.name + "/threads:" + std::to_string(threads)).c_str(),
+          [series, threads](benchmark::State& s) { RunPerlVm(s, series.p, threads); })
+          ->Iterations(1)
+          ->UseManualTime();
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  RegisterAll();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

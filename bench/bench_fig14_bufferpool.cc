@@ -1,0 +1,92 @@
+// Figure 14 — Buffer Pool sensitivity sweep over the condition variable's
+// append probability P. Pool of 5 x 1MB buffers, LIFO allocation; per
+// iteration a thread acquires a buffer, exchanges 500 random slots with a
+// private buffer, returns it, and updates 5000 random slots of its private
+// buffer (§6.11). P = 1 is FIFO, P = 0 pure LIFO; mostly-prepend values in
+// between trade fairness for throughput. Expected shape: throughput rises
+// monotonically as P drops, with P = 1/1000 capturing most of pure LIFO's
+// win.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "bench/common.h"
+#include "src/sync/buffer_pool.h"
+
+namespace {
+
+using namespace malthus;
+using namespace malthus::bench;
+
+constexpr std::size_t kBufferBytes = 1u << 20;
+constexpr std::size_t kPoolBuffers = 5;
+constexpr int kCsSlots = 500;
+constexpr int kNcsSlots = 5000;
+
+void RunBufferPool(benchmark::State& state, double append_p, int threads) {
+  for (auto _ : state) {
+    // The paper's mutex here is a classic MCS lock.
+    BufferPool<McsStpLock> pool(kPoolBuffers, kBufferBytes,
+                                CrCondVarOptions{.append_probability = append_p});
+    const std::size_t slots = kBufferBytes / sizeof(std::uint32_t);
+    std::vector<std::vector<std::uint32_t>> privates(
+        static_cast<std::size_t>(threads), std::vector<std::uint32_t>(slots, 1));
+
+    BenchConfig config;
+    config.threads = threads;
+    config.duration = DefaultBenchDuration();
+    const BenchResult result = RunFixedTime(config, [&](int t) {
+      XorShift64& rng = ThreadLocalRng();
+      auto& mine = privates[static_cast<std::size_t>(t)];
+      PoolBuffer* buffer = pool.Acquire();
+      for (int i = 0; i < kCsSlots; ++i) {
+        const std::size_t a = rng.NextBelow(slots);
+        const std::size_t b = rng.NextBelow(slots);
+        std::swap(buffer->data[a], mine[b]);
+      }
+      pool.Release(buffer);
+      for (int i = 0; i < kNcsSlots; ++i) {
+        mine[rng.NextBelow(slots)] += 1;
+      }
+    });
+    ReportResult(state, result);
+  }
+}
+
+void RegisterAll() {
+  struct Series {
+    const char* name;
+    double p;
+  };
+  // The paper's sweep: append probability 1, 1/10, ..., 1/2000, and 0.
+  const Series kSeries[] = {
+      {"append-1", 1.0},          {"append-1e1", 1.0 / 10},   {"append-1e50", 1.0 / 50},
+      {"append-1e100", 1.0 / 100}, {"append-1e200", 1.0 / 200}, {"append-1e500", 1.0 / 500},
+      {"append-1e1000", 1.0 / 1000}, {"append-1e2000", 1.0 / 2000}, {"append-0", 0.0},
+  };
+  // The pool only saturates when threads * CS/(CS+NCS) approaches the buffer
+  // count, so this figure sweeps well past the CPU count (the paper ran to
+  // 256 threads on 128 CPUs); waiting threads park, so oversubscription is
+  // cheap.
+  const auto thread_counts = SweepThreadCounts(2 * MaxSweepThreads());
+  for (const Series& series : kSeries) {
+    for (const int threads : thread_counts) {
+      benchmark::RegisterBenchmark(
+          (std::string("Fig14/") + series.name + "/threads:" + std::to_string(threads)).c_str(),
+          [series, threads](benchmark::State& s) { RunBufferPool(s, series.p, threads); })
+          ->Iterations(1)
+          ->UseManualTime();
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  RegisterAll();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

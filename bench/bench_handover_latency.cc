@@ -1,0 +1,125 @@
+// §5.2 lock handover latency: the time from thread A's unlock() entry to
+// waiting thread B's return from lock(). The paper's design discussion
+// turns on this number: handoff to a *spinning* successor costs ~100 ns;
+// handoff to a *parked* successor costs a kernel wake (the paper quotes
+// 30000+ cycles best case), and those cycles accrue while the lock is
+// logically held — which is why FIFO+parking collapses and why CR keeps
+// the heir spinning.
+//
+// Method: two threads ping-pong over the lock; the releasing side
+// timestamps immediately before unlock() and the acquiring side immediately
+// after lock() returns; the median gap over many handovers is reported.
+// `parked` variants force the waiter to park (spin budget 0) to expose the
+// kernel-wake cost.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "bench/common.h"
+
+namespace {
+
+using namespace malthus;
+using namespace malthus::bench;
+
+using Clock = std::chrono::steady_clock;
+
+template <typename Lock>
+double MedianHandoverNs(Lock& lock, int rounds) {
+  std::atomic<std::int64_t> release_stamp{0};
+  std::vector<double> gaps;
+  gaps.reserve(static_cast<std::size_t>(rounds));
+  std::atomic<bool> done{false};
+
+  std::thread partner([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      lock.lock();
+      const std::int64_t sent = release_stamp.load(std::memory_order_acquire);
+      benchmark::DoNotOptimize(sent);
+      // Hold briefly so the main thread queues up behind us.
+      for (int i = 0; i < 2000; ++i) {
+        CpuRelax();
+      }
+      release_stamp.store(Clock::now().time_since_epoch().count(), std::memory_order_release);
+      lock.unlock();
+    }
+  });
+
+  for (int r = 0; r < rounds; ++r) {
+    lock.lock();
+    const auto now = Clock::now().time_since_epoch().count();
+    const std::int64_t sent = release_stamp.load(std::memory_order_acquire);
+    if (sent != 0 && now > sent) {
+      gaps.push_back(static_cast<double>(now - sent));
+    }
+    for (int i = 0; i < 2000; ++i) {
+      CpuRelax();
+    }
+    release_stamp.store(0, std::memory_order_relaxed);
+    lock.unlock();
+    // Brief pause so the partner (not us) is the next owner.
+    for (int i = 0; i < 4000; ++i) {
+      CpuRelax();
+    }
+  }
+  done.store(true, std::memory_order_release);
+  partner.join();
+
+  if (gaps.empty()) {
+    return 0.0;
+  }
+  const std::size_t mid = gaps.size() / 2;
+  std::nth_element(gaps.begin(), gaps.begin() + static_cast<std::ptrdiff_t>(mid), gaps.end());
+  return gaps[mid];
+}
+
+template <typename Lock>
+void HandoverPoint(benchmark::State& state, std::uint32_t spin_budget, int rounds = 2000) {
+  for (auto _ : state) {
+    Lock lock;
+    if constexpr (requires(Lock& l, std::uint32_t b) { l.set_spin_budget(b); }) {
+      if (spin_budget != kAutoSpinBudget) {
+        lock.set_spin_budget(spin_budget);
+      }
+    }
+    state.counters["median_handover_ns"] = MedianHandoverNs(lock, rounds);
+  }
+}
+
+void RegisterAll() {
+  // TAS handover under competitive succession interacts with randomized
+  // backoff, making individual rounds slow; fewer rounds keep the suite
+  // quick while the median stays stable.
+  benchmark::RegisterBenchmark(
+      "Handover/tas", [](benchmark::State& s) { HandoverPoint<TtasLock>(s, kAutoSpinBudget, 100); })
+      ->Iterations(1);
+  benchmark::RegisterBenchmark(
+      "Handover/mcs-s", [](benchmark::State& s) { HandoverPoint<McsSpinLock>(s, kAutoSpinBudget); })
+      ->Iterations(1);
+  benchmark::RegisterBenchmark(
+      "Handover/mcs-stp-spinning",
+      [](benchmark::State& s) { HandoverPoint<McsStpLock>(s, kAutoSpinBudget); })
+      ->Iterations(1);
+  benchmark::RegisterBenchmark(
+      "Handover/mcs-stp-parked",
+      [](benchmark::State& s) { HandoverPoint<McsStpLock>(s, 0); })  // Forced park.
+      ->Iterations(1);
+  benchmark::RegisterBenchmark(
+      "Handover/mcscr-stp",
+      [](benchmark::State& s) { HandoverPoint<McscrStpLock>(s, kAutoSpinBudget); })
+      ->Iterations(1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  RegisterAll();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

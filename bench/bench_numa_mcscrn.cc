@@ -1,0 +1,100 @@
+// §9.1 MCSCRN — NUMA-aware CR over a simulated 2-node topology: threads are
+// assigned nodes round-robin; the bench compares MCS, MCSCR and MCSCRN on
+// RandArray-style work and reports throughput plus the lock-migration rate
+// (grants whose new owner is on a different node). MCSCRN should show the
+// lowest migration rate; throughput at least MCSCR's.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "bench/common.h"
+#include "src/core/topology.h"
+
+namespace {
+
+using namespace malthus;
+using namespace malthus::bench;
+
+constexpr std::size_t kWords = 64 * 1024;
+
+template <typename Lock>
+double RunWorkload(Lock& lock, int threads, std::chrono::milliseconds duration) {
+  std::vector<std::uint32_t> shared(kWords, 1);
+  std::vector<std::vector<std::uint32_t>> privates(
+      static_cast<std::size_t>(threads), std::vector<std::uint32_t>(kWords, 1));
+  std::atomic<std::uint64_t> sink{0};
+  BenchConfig config;
+  config.threads = threads;
+  config.duration = duration;
+  const BenchResult result = RunFixedTime(config, [&](int t) {
+    Self().forced_node = static_cast<std::uint32_t>(t % 2);
+    XorShift64& rng = ThreadLocalRng();
+    std::uint64_t sum = 0;
+    lock.lock();
+    for (int i = 0; i < 50; ++i) {
+      sum += shared[rng.NextBelow(kWords)];
+    }
+    lock.unlock();
+    auto& mine = privates[static_cast<std::size_t>(t)];
+    for (int i = 0; i < 200; ++i) {
+      sum += mine[rng.NextBelow(kWords)];
+    }
+    sink.fetch_add(sum, std::memory_order_relaxed);
+  });
+  return result.Throughput();
+}
+
+void McscrnPoint(benchmark::State& state, int threads) {
+  Topology::Instance().ConfigureSimulated(2);
+  for (auto _ : state) {
+    McscrnStpLock lock;
+    state.counters["ops_per_sec"] = RunWorkload(lock, threads, DefaultBenchDuration());
+    if (lock.grants() > 0) {
+      state.counters["migration_rate"] =
+          static_cast<double>(lock.lock_migrations()) / static_cast<double>(lock.grants());
+    }
+    state.counters["home_rotations"] = static_cast<double>(lock.home_rotations());
+    state.counters["remote_culls"] = static_cast<double>(lock.remote_culls());
+  }
+}
+
+void McscrPoint(benchmark::State& state, int threads) {
+  for (auto _ : state) {
+    McscrStpLock lock;
+    state.counters["ops_per_sec"] = RunWorkload(lock, threads, DefaultBenchDuration());
+  }
+}
+
+void McsPoint(benchmark::State& state, int threads) {
+  for (auto _ : state) {
+    McsStpLock lock;
+    state.counters["ops_per_sec"] = RunWorkload(lock, threads, DefaultBenchDuration());
+  }
+}
+
+void RegisterAll() {
+  const auto thread_counts = SweepThreadCounts(MaxSweepThreads());
+  for (const int threads : thread_counts) {
+    benchmark::RegisterBenchmark(("Numa/mcs-stp/threads:" + std::to_string(threads)).c_str(),
+                                 [threads](benchmark::State& s) { McsPoint(s, threads); })
+        ->Iterations(1);
+    benchmark::RegisterBenchmark(("Numa/mcscr-stp/threads:" + std::to_string(threads)).c_str(),
+                                 [threads](benchmark::State& s) { McscrPoint(s, threads); })
+        ->Iterations(1);
+    benchmark::RegisterBenchmark(
+        ("Numa/mcscrn-stp/threads:" + std::to_string(threads)).c_str(),
+        [threads](benchmark::State& s) { McscrnPoint(s, threads); })
+        ->Iterations(1);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  RegisterAll();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,75 @@
+// §6.11 semaphore variant of the buffer pool: threads waiting for a buffer
+// block on a CR semaphore instead of a condition variable. The paper
+// reports results "effectively identical" to Figure 14; this bench runs the
+// P sweep's endpoints plus the mostly-LIFO point so the equivalence can be
+// eyeballed against Fig14's rows.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "bench/common.h"
+#include "src/sync/buffer_pool.h"
+
+namespace {
+
+using namespace malthus;
+using namespace malthus::bench;
+
+constexpr std::size_t kBufferBytes = 1u << 20;
+constexpr std::size_t kPoolBuffers = 5;
+
+void RunSemPool(benchmark::State& state, double append_p, int threads) {
+  for (auto _ : state) {
+    SemaphoreBufferPool pool(kPoolBuffers, kBufferBytes,
+                             CrSemaphoreOptions{.append_probability = append_p});
+    const std::size_t slots = kBufferBytes / sizeof(std::uint32_t);
+    std::vector<std::vector<std::uint32_t>> privates(
+        static_cast<std::size_t>(threads), std::vector<std::uint32_t>(slots, 1));
+    BenchConfig config;
+    config.threads = threads;
+    config.duration = DefaultBenchDuration();
+    const BenchResult result = RunFixedTime(config, [&](int t) {
+      XorShift64& rng = ThreadLocalRng();
+      auto& mine = privates[static_cast<std::size_t>(t)];
+      PoolBuffer* buffer = pool.Acquire();
+      for (int i = 0; i < 500; ++i) {
+        std::swap(buffer->data[rng.NextBelow(slots)], mine[rng.NextBelow(slots)]);
+      }
+      pool.Release(buffer);
+      for (int i = 0; i < 5000; ++i) {
+        mine[rng.NextBelow(slots)] += 1;
+      }
+    });
+    ReportResult(state, result);
+  }
+}
+
+void RegisterAll() {
+  struct Series {
+    const char* name;
+    double p;
+  };
+  // Sweep past the CPU count: the pool saturates only near
+  // threads * CS/(CS+NCS) ~= buffer count (see bench_fig14_bufferpool.cc).
+  const auto thread_counts = SweepThreadCounts(2 * MaxSweepThreads());
+  for (const Series series :
+       {Series{"fifo", 1.0}, Series{"mostly-lifo", 1.0 / 1000}, Series{"lifo", 0.0}}) {
+    for (const int threads : thread_counts) {
+      benchmark::RegisterBenchmark(
+          (std::string("SemPool/") + series.name + "/threads:" + std::to_string(threads)).c_str(),
+          [series, threads](benchmark::State& s) { RunSemPool(s, series.p, threads); })
+          ->Iterations(1)
+          ->UseManualTime();
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  RegisterAll();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

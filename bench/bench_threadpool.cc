@@ -1,0 +1,66 @@
+// §6.11 thread pools: idle workers block on a central condition variable.
+// FIFO wakeup round-robins work over every worker; mostly-LIFO keeps just
+// the workers needed for the offered load active (CR on worker activation).
+// Reported: task throughput and the activation-concentration Gini over
+// per-worker task counts (higher = smaller active set).
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <memory>
+#include <thread>
+
+#include "bench/common.h"
+#include "src/metrics/fairness.h"
+#include "src/sync/thread_pool.h"
+
+namespace {
+
+using namespace malthus;
+using namespace malthus::bench;
+
+void RunPool(benchmark::State& state, double append_p, int workers) {
+  for (auto _ : state) {
+    ThreadPool pool(static_cast<std::size_t>(workers),
+                    CrCondVarOptions{.append_probability = append_p});
+    const auto deadline = std::chrono::steady_clock::now() + DefaultBenchDuration();
+    std::uint64_t submitted = 0;
+    // A slow trickle relative to capacity: most workers are surplus.
+    while (std::chrono::steady_clock::now() < deadline) {
+      pool.Submit([] {
+        volatile int sink = 0;
+        for (int i = 0; i < 200; ++i) {
+          sink = sink + i;
+        }
+      });
+      ++submitted;
+      pool.Drain();
+    }
+    const auto counts = pool.TaskCountsPerWorker();
+    std::vector<double> values(counts.begin(), counts.end());
+    state.counters["tasks"] = static_cast<double>(submitted);
+    state.counters["activation_gini"] = GiniCoefficient(values);
+  }
+}
+
+void RegisterAll() {
+  for (const int workers : {4, 8, 16}) {
+    benchmark::RegisterBenchmark(
+        ("ThreadPool/fifo/workers:" + std::to_string(workers)).c_str(),
+        [workers](benchmark::State& s) { RunPool(s, 1.0, workers); })
+        ->Iterations(1);
+    benchmark::RegisterBenchmark(
+        ("ThreadPool/mostly-lifo/workers:" + std::to_string(workers)).c_str(),
+        [workers](benchmark::State& s) { RunPool(s, 1.0 / 1000, workers); })
+        ->Iterations(1);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  RegisterAll();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

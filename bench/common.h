@@ -1,0 +1,71 @@
+// Shared infrastructure for the per-figure benchmark binaries.
+//
+// Each binary registers one google-benchmark entry per (variant, thread
+// count) point and reports the paper's series through custom counters
+// (items_per_second for throughput; avgLWSS / MTTR / gini where the figure
+// calls for them). Measurement interval and sweep ceilings follow the env
+// knobs documented in harness/fixed_time.h, so the default full-suite run
+// stays fast while EXPERIMENTS.md runs use longer intervals.
+#ifndef MALTHUS_BENCH_COMMON_H_
+#define MALTHUS_BENCH_COMMON_H_
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "src/core/lifocr.h"
+#include "src/core/mcscr.h"
+#include "src/core/mcscrn.h"
+#include "src/harness/fixed_time.h"
+#include "src/locks/any_lock.h"
+#include "src/locks/mcs.h"
+#include "src/locks/pthread_style.h"
+#include "src/locks/tas.h"
+#include "src/locks/ticket.h"
+#include "src/metrics/admission_log.h"
+
+namespace malthus::bench {
+
+// Publishes the standard counters for a fixed-time run.
+inline void ReportResult(benchmark::State& state, const BenchResult& result) {
+  state.counters["ops_per_sec"] =
+      benchmark::Counter(result.Throughput(), benchmark::Counter::kDefaults);
+  state.counters["cpu_util_x"] = result.usage.CpuUtilization();
+  state.SetIterationTime(result.wall_seconds);
+}
+
+inline void ReportFairness(benchmark::State& state, const FairnessReport& report) {
+  state.counters["avgLWSS"] = report.average_lwss;
+  state.counters["MTTR"] = report.mttr;
+  state.counters["gini"] = report.gini;
+}
+
+// Compile-time dispatch from a registry name to the lock type, for
+// constructs that take the lock as a template parameter. `f` is a generic
+// callable invoked as f.template operator()<LockType>().
+template <typename F>
+void WithLockType(const std::string& name, F&& f) {
+  if (name == "mcs-s") {
+    f.template operator()<McsSpinLock>();
+  } else if (name == "mcs-stp") {
+    f.template operator()<McsStpLock>();
+  } else if (name == "mcscr-s") {
+    f.template operator()<McscrSpinLock>();
+  } else if (name == "mcscr-stp") {
+    f.template operator()<McscrStpLock>();
+  } else if (name == "tas") {
+    f.template operator()<TtasLock>();
+  } else if (name == "ticket") {
+    f.template operator()<TicketLock>();
+  } else if (name == "pthread-style") {
+    f.template operator()<PthreadStyleMutex>();
+  } else if (name == "lifocr-stp") {
+    f.template operator()<LifoCrStpLock>();
+  } else if (name == "mcscrn-stp") {
+    f.template operator()<McscrnStpLock>();
+  }
+}
+
+}  // namespace malthus::bench
+
+#endif  // MALTHUS_BENCH_COMMON_H_

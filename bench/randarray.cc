@@ -1,0 +1,44 @@
+#include "bench/randarray.h"
+
+namespace malthus::bench {
+
+RandArrayOutcome RunRandArray(const std::string& lock_name, int threads,
+                              std::chrono::milliseconds duration,
+                              const RandArrayParams& params) {
+  auto lock = MakeLock(lock_name);
+  AdmissionLog log(1 << 21);
+  lock->set_recorder(&log);
+
+  std::vector<std::uint32_t> shared(params.words, 1);
+  std::vector<std::vector<std::uint32_t>> privates(
+      static_cast<std::size_t>(threads), std::vector<std::uint32_t>(params.words, 1));
+
+  std::atomic<std::uint64_t> sink{0};
+  BenchConfig config;
+  config.threads = threads;
+  config.duration = duration;
+  const std::uint64_t parks_before = TotalKernelParks();
+  BenchResult result = RunFixedTime(config, [&](int t) {
+    XorShift64& rng = ThreadLocalRng();
+    std::uint64_t sum = 0;
+    lock->lock();
+    for (int i = 0; i < params.cs_accesses; ++i) {
+      sum += shared[rng.NextBelow(params.words)];
+    }
+    lock->unlock();
+    auto& mine = privates[static_cast<std::size_t>(t)];
+    for (int i = 0; i < params.ncs_accesses; ++i) {
+      sum += mine[rng.NextBelow(params.words)];
+    }
+    sink.fetch_add(sum, std::memory_order_relaxed);
+  });
+
+  RandArrayOutcome outcome;
+  outcome.result = std::move(result);
+  outcome.fairness = log.Report(1000);
+  outcome.kernel_parks = TotalKernelParks() - parks_before;
+  outcome.admission_history = log.History();
+  return outcome;
+}
+
+}  // namespace malthus::bench

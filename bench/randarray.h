@@ -1,0 +1,50 @@
+// The RandArray workload (paper §6.1), shared by the Figure-3 and Figure-4
+// benches and the ablations.
+//
+// Per iteration: acquire the central lock; perform `cs_accesses` uniformly
+// random 32-bit loads from a shared array; release; perform `ncs_accesses`
+// random loads from a thread-private array. Loads only (no stores) to avoid
+// confounding coherence traffic. Arrays are sized so the aggregate
+// footprint crosses the host LLC capacity partway through the thread sweep,
+// exactly as the paper's 1 MB-vs-8 MB layout does on the T5.
+#ifndef MALTHUS_BENCH_RANDARRAY_H_
+#define MALTHUS_BENCH_RANDARRAY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/harness/fixed_time.h"
+#include "src/locks/any_lock.h"
+#include "src/metrics/admission_log.h"
+#include "src/platform/park.h"
+#include "src/platform/sysinfo.h"
+#include "src/rng/xorshift.h"
+
+namespace malthus::bench {
+
+struct RandArrayParams {
+  // Words per array; the paper uses 256K 32-bit ints (1 MB).
+  std::size_t words = 256 * 1024;
+  int cs_accesses = 100;
+  int ncs_accesses = 400;
+};
+
+struct RandArrayOutcome {
+  BenchResult result;
+  FairnessReport fairness;
+  std::uint64_t kernel_parks = 0;  // Voluntary context switches (lock-induced).
+  std::vector<std::uint32_t> admission_history;
+};
+
+// Runs RandArray under the named lock. Thread-private arrays are allocated
+// fresh per call so residual cache state from previous points is cold.
+RandArrayOutcome RunRandArray(const std::string& lock_name, int threads,
+                              std::chrono::milliseconds duration,
+                              const RandArrayParams& params = RandArrayParams{});
+
+}  // namespace malthus::bench
+
+#endif  // MALTHUS_BENCH_RANDARRAY_H_

@@ -1,0 +1,53 @@
+// Fairness monitor: runs a contended workload over every lock in the
+// registry and prints the paper's fairness dashboard — throughput, average
+// LWSS, MTTR, Gini, RSTDDEV — as one table. A compact reproduction of the
+// Figure-4 methodology over arbitrary algorithms.
+//
+//   build/examples/fairness_monitor [threads] [ms]
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/harness/fixed_time.h"
+#include "src/harness/table.h"
+#include "src/locks/any_lock.h"
+#include "src/metrics/admission_log.h"
+#include "src/platform/sysinfo.h"
+
+int main(int argc, char** argv) {
+  const int threads = argc > 1 ? std::atoi(argv[1]) : malthus::LogicalCpuCount();
+  const int ms = argc > 2 ? std::atoi(argv[2]) : 300;
+
+  malthus::TextTable table(
+      {"lock", "ops/sec", "avgLWSS", "MTTR", "gini", "rstddev", "cpu_util"});
+
+  for (const auto& name : malthus::AllLockNames()) {
+    if (name == "null") {
+      continue;  // No admission history to report.
+    }
+    auto lock = malthus::MakeLock(name);
+    malthus::AdmissionLog log;
+    lock->set_recorder(&log);
+    malthus::BenchConfig config;
+    config.threads = threads;
+    config.duration = std::chrono::milliseconds(ms);
+    const malthus::BenchResult result = malthus::RunFixedTime(config, [&](int) {
+      lock->lock();
+      lock->unlock();
+    });
+    const malthus::FairnessReport report = log.Report();
+    table.AddRow({name, malthus::TextTable::Num(result.Throughput(), true),
+                  malthus::TextTable::Num(report.average_lwss),
+                  malthus::TextTable::Num(report.mttr), malthus::TextTable::Num(report.gini),
+                  malthus::TextTable::Num(report.rstddev),
+                  malthus::TextTable::Num(result.usage.CpuUtilization())});
+  }
+
+  std::printf("fairness dashboard: %d threads, %d ms per lock\n\n%s", threads, ms,
+              table.Render().c_str());
+  std::printf(
+      "\nFIFO locks show avgLWSS == threads and MTTR == threads; CR locks clamp both to the\n"
+      "saturation set while gini stays below 1 (long-term fairness via Bernoulli grants).\n");
+  return 0;
+}

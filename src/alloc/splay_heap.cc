@@ -1,0 +1,293 @@
+#include "src/alloc/splay_heap.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace malthus {
+namespace {
+
+constexpr std::size_t kAlign = 16;
+constexpr std::size_t kSizeMask = ~static_cast<std::size_t>(1);
+constexpr std::size_t kFreeBit = 1;
+
+std::size_t AlignUp(std::size_t n) { return (n + kAlign - 1) & ~(kAlign - 1); }
+
+}  // namespace
+
+// Block layout (sizes include header+footer):
+//   [ header: size|free ][ payload / tree links ... ][ footer: size|free ]
+// The tree links live in the payload of *free* blocks, so the minimum block
+// size must hold them.
+struct SplayHeap::Block {
+  std::size_t size_and_flags;  // total block size in bytes, low bit = free
+  // Tree links; valid only while free.
+  Block* left;
+  Block* right;
+  Block* parent;
+
+  std::size_t size() const { return size_and_flags & kSizeMask; }
+  bool is_free() const { return (size_and_flags & kFreeBit) != 0; }
+  void set(std::size_t size, bool free_flag) {
+    size_and_flags = (size & kSizeMask) | (free_flag ? kFreeBit : 0);
+  }
+  void* payload() { return reinterpret_cast<std::byte*>(this) + sizeof(std::size_t); }
+};
+
+namespace {
+
+constexpr std::size_t kHeaderBytes = sizeof(std::size_t);
+constexpr std::size_t kFooterBytes = sizeof(std::size_t);
+// Minimum block: header + tree links + footer, aligned.
+constexpr std::size_t kMinBlock = 64;
+
+// Ordering key: (size, address). Best-fit with address tie-break keeps the
+// tree a total order even with many equal-size blocks.
+bool KeyLess(std::size_t size_a, const void* addr_a, std::size_t size_b, const void* addr_b) {
+  if (size_a != size_b) {
+    return size_a < size_b;
+  }
+  return addr_a < addr_b;
+}
+
+}  // namespace
+
+SplayHeap::SplayHeap(std::size_t arena_bytes) {
+  arena_bytes_ = AlignUp(arena_bytes < kMinBlock * 2 ? kMinBlock * 2 : arena_bytes);
+  arena_ = std::make_unique<std::byte[]>(arena_bytes_);
+  Block* first = reinterpret_cast<Block*>(arena_.get());
+  first->set(arena_bytes_, true);
+  WriteFooter(first);
+  SplayInsert(first);
+}
+
+SplayHeap::~SplayHeap() = default;
+
+void SplayHeap::WriteFooter(Block* b) {
+  std::byte* end = reinterpret_cast<std::byte*>(b) + b->size();
+  std::memcpy(end - kFooterBytes, &b->size_and_flags, kFooterBytes);
+}
+
+SplayHeap::Block* SplayHeap::FromPayload(void* ptr) const {
+  return reinterpret_cast<Block*>(static_cast<std::byte*>(ptr) - kHeaderBytes);
+}
+
+SplayHeap::Block* SplayHeap::NextInArena(Block* b) const {
+  std::byte* next = reinterpret_cast<std::byte*>(b) + b->size();
+  if (next >= arena_.get() + arena_bytes_) {
+    return nullptr;
+  }
+  return reinterpret_cast<Block*>(next);
+}
+
+SplayHeap::Block* SplayHeap::PrevInArena(Block* b) const {
+  std::byte* self = reinterpret_cast<std::byte*>(b);
+  if (self == arena_.get()) {
+    return nullptr;
+  }
+  std::size_t prev_size_and_flags;
+  std::memcpy(&prev_size_and_flags, self - kFooterBytes, kFooterBytes);
+  return reinterpret_cast<Block*>(self - (prev_size_and_flags & kSizeMask));
+}
+
+void SplayHeap::RotateUp(Block* x) {
+  Block* p = x->parent;
+  Block* g = p->parent;
+  if (p->left == x) {
+    p->left = x->right;
+    if (x->right != nullptr) {
+      x->right->parent = p;
+    }
+    x->right = p;
+  } else {
+    p->right = x->left;
+    if (x->left != nullptr) {
+      x->left->parent = p;
+    }
+    x->left = p;
+  }
+  p->parent = x;
+  x->parent = g;
+  if (g != nullptr) {
+    if (g->left == p) {
+      g->left = x;
+    } else {
+      g->right = x;
+    }
+  } else {
+    root_ = x;
+  }
+}
+
+void SplayHeap::Splay(Block* x) {
+  ++splays_;
+  while (x->parent != nullptr) {
+    Block* p = x->parent;
+    Block* g = p->parent;
+    if (g == nullptr) {
+      RotateUp(x);  // zig
+    } else if ((g->left == p) == (p->left == x)) {
+      RotateUp(p);  // zig-zig
+      RotateUp(x);
+    } else {
+      RotateUp(x);  // zig-zag
+      RotateUp(x);
+    }
+  }
+}
+
+void SplayHeap::SplayInsert(Block* block) {
+  block->left = block->right = block->parent = nullptr;
+  free_bytes_ += block->size();
+  ++free_blocks_;
+  if (root_ == nullptr) {
+    root_ = block;
+    return;
+  }
+  Block* cur = root_;
+  while (true) {
+    if (KeyLess(block->size(), block, cur->size(), cur)) {
+      if (cur->left == nullptr) {
+        cur->left = block;
+        block->parent = cur;
+        break;
+      }
+      cur = cur->left;
+    } else {
+      if (cur->right == nullptr) {
+        cur->right = block;
+        block->parent = cur;
+        break;
+      }
+      cur = cur->right;
+    }
+  }
+  Splay(block);
+}
+
+void SplayHeap::SplayRemove(Block* block) {
+  free_bytes_ -= block->size();
+  --free_blocks_;
+  Splay(block);  // Bring to root.
+  Block* left = block->left;
+  Block* right = block->right;
+  if (left != nullptr) {
+    left->parent = nullptr;
+  }
+  if (right != nullptr) {
+    right->parent = nullptr;
+  }
+  if (left == nullptr) {
+    root_ = right;
+    return;
+  }
+  // Splay the maximum of the left subtree; it then has no right child.
+  Block* max = left;
+  while (max->right != nullptr) {
+    max = max->right;
+  }
+  root_ = left;
+  Splay(max);
+  max->right = right;
+  if (right != nullptr) {
+    right->parent = max;
+  }
+}
+
+SplayHeap::Block* SplayHeap::FindBestFit(std::size_t need) {
+  Block* best = nullptr;
+  Block* cur = root_;
+  while (cur != nullptr) {
+    if (cur->size() >= need) {
+      best = cur;
+      cur = cur->left;  // Try to find something smaller that still fits.
+    } else {
+      cur = cur->right;
+    }
+  }
+  return best;
+}
+
+void* SplayHeap::Allocate(std::size_t bytes) {
+  const std::size_t need =
+      std::max(kMinBlock, AlignUp(bytes + kHeaderBytes + kFooterBytes));
+  Block* block = FindBestFit(need);
+  if (block == nullptr) {
+    return nullptr;
+  }
+  SplayRemove(block);
+
+  const std::size_t remainder = block->size() - need;
+  if (remainder >= kMinBlock) {
+    // Split: head becomes the allocation, tail returns to the tree.
+    block->set(need, false);
+    WriteFooter(block);
+    Block* tail = NextInArena(block);
+    tail->set(remainder, true);
+    WriteFooter(tail);
+    SplayInsert(tail);
+  } else {
+    block->set(block->size(), false);
+    WriteFooter(block);
+  }
+  ++allocations_;
+  return block->payload();
+}
+
+void SplayHeap::Free(void* ptr) {
+  if (ptr == nullptr) {
+    return;
+  }
+  Block* block = FromPayload(ptr);
+  assert(!block->is_free() && "double free");
+
+  // Coalesce with the successor.
+  Block* next = NextInArena(block);
+  if (next != nullptr && next->is_free()) {
+    SplayRemove(next);
+    block->set(block->size() + next->size(), false);
+  }
+  // Coalesce with the predecessor.
+  Block* prev = PrevInArena(block);
+  if (prev != nullptr && prev->is_free()) {
+    SplayRemove(prev);
+    prev->set(prev->size() + block->size(), false);
+    block = prev;
+  }
+  block->set(block->size(), true);
+  WriteFooter(block);
+  SplayInsert(block);
+}
+
+bool SplayHeap::CheckConsistency() const {
+  const std::byte* end = arena_.get() + arena_bytes_;
+  const Block* b = reinterpret_cast<const Block*>(arena_.get());
+  std::size_t free_bytes = 0;
+  std::size_t free_blocks = 0;
+  bool prev_free = false;
+  while (reinterpret_cast<const std::byte*>(b) < end) {
+    const std::size_t size = b->size();
+    if (size < kMinBlock || size % kAlign != 0) {
+      return false;
+    }
+    std::size_t footer;
+    std::memcpy(&footer, reinterpret_cast<const std::byte*>(b) + size - kFooterBytes,
+                kFooterBytes);
+    if (footer != b->size_and_flags) {
+      return false;
+    }
+    if (b->is_free()) {
+      if (prev_free) {
+        return false;  // Adjacent free blocks should have been coalesced.
+      }
+      free_bytes += size;
+      ++free_blocks;
+    }
+    prev_free = b->is_free();
+    b = reinterpret_cast<const Block*>(reinterpret_cast<const std::byte*>(b) + size);
+  }
+  return reinterpret_cast<const std::byte*>(b) == end && free_bytes == free_bytes_ &&
+         free_blocks == free_blocks_;
+}
+
+}  // namespace malthus

@@ -1,0 +1,103 @@
+// Splay-tree best-fit heap allocator behind one central lock — the stand-in
+// for the default Solaris libc allocator the paper uses in the mmicro
+// experiment (§6.4): "implemented as a splay tree protected by a central
+// mutex. While not scalable, this allocator yields a dense heap and small
+// footprint."
+//
+// Design: a contiguous arena carved into blocks with boundary tags
+// (header + footer carry size and a free bit), so Free() coalesces with
+// both neighbours in O(1) before inserting into the free tree. The free
+// tree is a bottom-up splay tree keyed by (size, address); Allocate()
+// splays the best fit (smallest block >= request) to the root, removes it,
+// and returns the tail split to the tree when the remainder is usable.
+//
+// SplayHeap itself is single-threaded; LockedHeap<Lock> adds the paper's
+// central mutex. Every malloc/free pair thus acquires the central lock,
+// which is the contention the mmicro benchmark measures.
+#ifndef MALTHUS_SRC_ALLOC_SPLAY_HEAP_H_
+#define MALTHUS_SRC_ALLOC_SPLAY_HEAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+namespace malthus {
+
+class SplayHeap {
+ public:
+  // Creates a heap over a private arena of `arena_bytes` (rounded up to the
+  // block granularity).
+  explicit SplayHeap(std::size_t arena_bytes);
+  ~SplayHeap();
+  SplayHeap(const SplayHeap&) = delete;
+  SplayHeap& operator=(const SplayHeap&) = delete;
+
+  // Returns 16-byte-aligned storage for `bytes`, or nullptr if the arena is
+  // exhausted (no fallback to the system allocator by design).
+  void* Allocate(std::size_t bytes);
+
+  // Returns a block obtained from Allocate. nullptr is a no-op.
+  void Free(void* ptr);
+
+  // Diagnostics & test hooks.
+  std::size_t FreeBytes() const { return free_bytes_; }
+  std::size_t FreeBlockCount() const { return free_blocks_; }
+  std::uint64_t allocations() const { return allocations_; }
+  std::uint64_t splay_operations() const { return splays_; }
+  // Walks the whole arena verifying boundary-tag integrity; test-only.
+  bool CheckConsistency() const;
+
+ private:
+  struct Block;
+
+  // Splay-tree primitives (keyed by (size, address)).
+  void SplayInsert(Block* block);
+  void SplayRemove(Block* block);
+  Block* FindBestFit(std::size_t need);
+  void Splay(Block* x);
+  void RotateUp(Block* x);
+
+  Block* FromPayload(void* ptr) const;
+  Block* NextInArena(Block* b) const;
+  Block* PrevInArena(Block* b) const;
+  void WriteFooter(Block* b);
+
+  std::unique_ptr<std::byte[]> arena_;
+  std::size_t arena_bytes_;
+  Block* root_ = nullptr;
+  std::size_t free_bytes_ = 0;
+  std::size_t free_blocks_ = 0;
+  std::uint64_t allocations_ = 0;
+  std::uint64_t splays_ = 0;
+};
+
+// The paper's central-mutex allocator: every operation takes `Lock`.
+template <typename Lock>
+class LockedHeap {
+ public:
+  explicit LockedHeap(std::size_t arena_bytes) : heap_(arena_bytes) {}
+
+  void* Allocate(std::size_t bytes) {
+    lock_.lock();
+    void* p = heap_.Allocate(bytes);
+    lock_.unlock();
+    return p;
+  }
+
+  void Free(void* ptr) {
+    lock_.lock();
+    heap_.Free(ptr);
+    lock_.unlock();
+  }
+
+  Lock& lock() { return lock_; }
+  SplayHeap& heap() { return heap_; }
+
+ private:
+  Lock lock_;
+  SplayHeap heap_;
+};
+
+}  // namespace malthus
+
+#endif  // MALTHUS_SRC_ALLOC_SPLAY_HEAP_H_

@@ -1,0 +1,98 @@
+#include "src/cachesim/cache.h"
+
+#include <cassert>
+
+namespace malthus {
+namespace {
+
+[[maybe_unused]] bool IsPowerOfTwo(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+}  // namespace
+
+CacheSim::CacheSim(const CacheConfig& config) : config_(config) {
+  assert(IsPowerOfTwo(config_.line_bytes) && "line size must be a power of two");
+  set_count_ = config_.size_bytes / (static_cast<std::size_t>(config_.ways) * config_.line_bytes);
+  if (set_count_ == 0) {
+    set_count_ = 1;
+  }
+  sets_.resize(set_count_ * config_.ways);
+}
+
+AccessOutcome CacheSim::Access(std::uint32_t cpu, std::uint64_t addr) {
+  ++access_clock_;
+  const std::uint64_t line_addr = addr / config_.line_bytes;
+  const std::size_t set = line_addr % set_count_;
+  Line* base = &sets_[set * config_.ways];
+
+  if (cpu >= per_cpu_.size()) {
+    per_cpu_.resize(cpu + 1);
+  }
+  CacheStats& mine = per_cpu_[cpu];
+
+  // Hit scan.
+  for (std::uint32_t w = 0; w < config_.ways; ++w) {
+    Line& line = base[w];
+    if (line.valid && line.tag == line_addr) {
+      line.lru_stamp = access_clock_;
+      ++total_.hits;
+      ++mine.hits;
+      return AccessOutcome::kHit;
+    }
+  }
+
+  // Victim selection: first invalid way, else LRU.
+  Line* victim = nullptr;
+  for (std::uint32_t w = 0; w < config_.ways; ++w) {
+    Line& line = base[w];
+    if (!line.valid) {
+      victim = &line;
+      break;
+    }
+    if (victim == nullptr || line.lru_stamp < victim->lru_stamp) {
+      victim = &line;
+    }
+  }
+
+  // Miss. Classify by who evicted this line last.
+  AccessOutcome outcome;
+  const auto it = evicted_by_.find(line_addr);
+  if (it == evicted_by_.end()) {
+    outcome = AccessOutcome::kColdMiss;
+    ++total_.cold_misses;
+    ++mine.cold_misses;
+  } else if (it->second == cpu) {
+    outcome = AccessOutcome::kSelfMiss;
+    ++total_.self_misses;
+    ++mine.self_misses;
+  } else {
+    outcome = AccessOutcome::kExtrinsicMiss;
+    ++total_.extrinsic_misses;
+    ++mine.extrinsic_misses;
+  }
+
+  // Install, recording the eviction attribution for the displaced line.
+  if (victim->valid) {
+    evicted_by_[victim->tag] = cpu;
+  }
+  victim->valid = true;
+  victim->tag = line_addr;
+  victim->installer = cpu;
+  victim->lru_stamp = access_clock_;
+  return outcome;
+}
+
+const CacheStats& CacheSim::CpuStats(std::uint32_t cpu) const {
+  if (cpu >= per_cpu_.size()) {
+    per_cpu_.resize(cpu + 1);
+  }
+  return per_cpu_[cpu];
+}
+
+void CacheSim::ResetStats() {
+  total_ = CacheStats{};
+  for (auto& s : per_cpu_) {
+    s = CacheStats{};
+  }
+}
+
+}  // namespace malthus

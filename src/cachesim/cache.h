@@ -1,0 +1,81 @@
+// Faithful functional cache emulation (paper §6.1): a set-associative LRU
+// cache whose lines are tagged with the installing CPU, so misses can be
+// discriminated into
+//
+//   * cold      — the line was never resident,
+//   * self      — intrinsic: the missing CPU itself evicted the line,
+//   * extrinsic — destructive interference: some *other* CPU evicted it.
+//
+// The paper notes that no commercially available processor offers counters
+// with this discrimination; the emulation is how it validated that MCS's
+// collapse in RandArray is driven by extrinsic LLC misses and that CR
+// removes them. Single-threaded by design: benchmark replays feed it a
+// serialized access trace (see replay.h).
+#ifndef MALTHUS_SRC_CACHESIM_CACHE_H_
+#define MALTHUS_SRC_CACHESIM_CACHE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace malthus {
+
+enum class AccessOutcome : std::uint8_t { kHit = 0, kColdMiss, kSelfMiss, kExtrinsicMiss };
+
+struct CacheConfig {
+  std::size_t size_bytes = 8u << 20;  // the paper's T5 LLC
+  std::uint32_t ways = 16;
+  std::uint32_t line_bytes = 64;
+};
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t cold_misses = 0;
+  std::uint64_t self_misses = 0;
+  std::uint64_t extrinsic_misses = 0;
+
+  std::uint64_t Misses() const { return cold_misses + self_misses + extrinsic_misses; }
+  std::uint64_t Accesses() const { return hits + Misses(); }
+  double MissRate() const {
+    const std::uint64_t a = Accesses();
+    return a == 0 ? 0.0 : static_cast<double>(Misses()) / static_cast<double>(a);
+  }
+};
+
+class CacheSim {
+ public:
+  explicit CacheSim(const CacheConfig& config);
+
+  // Simulates one access by `cpu` to byte address `addr`.
+  AccessOutcome Access(std::uint32_t cpu, std::uint64_t addr);
+
+  const CacheStats& TotalStats() const { return total_; }
+  // Stats for accesses issued by one CPU (grown on demand).
+  const CacheStats& CpuStats(std::uint32_t cpu) const;
+
+  std::size_t SetCount() const { return sets_.size() / config_.ways; }
+  const CacheConfig& config() const { return config_; }
+
+  void ResetStats();
+
+ private:
+  struct Line {
+    std::uint64_t tag = 0;
+    std::uint32_t installer = 0;
+    std::uint64_t lru_stamp = 0;
+    bool valid = false;
+  };
+
+  CacheConfig config_;
+  std::size_t set_count_;
+  std::vector<Line> sets_;  // set-major: sets_[set * ways + way]
+  std::uint64_t access_clock_ = 0;
+  // line address -> cpu that last evicted it (for miss attribution).
+  std::unordered_map<std::uint64_t, std::uint32_t> evicted_by_;
+  CacheStats total_;
+  mutable std::vector<CacheStats> per_cpu_;
+};
+
+}  // namespace malthus
+
+#endif  // MALTHUS_SRC_CACHESIM_CACHE_H_

@@ -1,0 +1,105 @@
+#include "src/cachesim/replay.h"
+
+#include "src/rng/xorshift.h"
+
+namespace malthus {
+
+AdmissionSchedule MakeFifoSchedule(std::uint32_t threads, std::uint64_t admissions) {
+  AdmissionSchedule schedule;
+  schedule.reserve(admissions);
+  for (std::uint64_t i = 0; i < admissions; ++i) {
+    schedule.push_back(static_cast<std::uint32_t>(i % threads));
+  }
+  return schedule;
+}
+
+AdmissionSchedule MakeCrSchedule(std::uint32_t threads, std::uint32_t acs_size,
+                                 std::uint64_t admissions, std::uint64_t fairness_period) {
+  AdmissionSchedule schedule;
+  schedule.reserve(admissions);
+  if (acs_size == 0) {
+    acs_size = 1;
+  }
+  if (acs_size > threads) {
+    acs_size = threads;
+  }
+  // The ACS is a window [base, base+acs_size) over the thread ids; each
+  // fairness event admits the eldest passive thread, which displaces the
+  // eldest ACS member — modelled as sliding the window by one.
+  std::uint32_t base = 0;
+  std::uint64_t since_fairness = 0;
+  std::uint32_t cursor = 0;
+  for (std::uint64_t i = 0; i < admissions; ++i) {
+    if (acs_size < threads && ++since_fairness >= fairness_period) {
+      since_fairness = 0;
+      base = (base + 1) % threads;
+    }
+    schedule.push_back((base + cursor) % threads);
+    cursor = (cursor + 1) % acs_size;
+  }
+  return schedule;
+}
+
+ReplayResult ReplaySchedule(const ReplayConfig& config, const CacheConfig& cache_config,
+                            const AdmissionSchedule& schedule) {
+  CacheSim cache(cache_config);
+  XorShift64 rng(config.seed);
+
+  // Address layout: the shared CS array at offset 0; thread t's private
+  // array at (t + 1) * ncs_footprint (regions are disjoint).
+  const std::uint64_t cs_base = 0;
+  auto ncs_base = [&](std::uint32_t tid) {
+    return config.cs_footprint_bytes + static_cast<std::uint64_t>(tid) * config.ncs_footprint_bytes;
+  };
+
+  ReplayResult result;
+  for (const std::uint32_t tid : schedule) {
+    // Critical section: random lines in the shared region.
+    for (std::uint32_t a = 0; a < config.cs_accesses; ++a) {
+      const std::uint64_t addr = cs_base + rng.NextBelow(config.cs_footprint_bytes);
+      const AccessOutcome outcome = cache.Access(tid, addr);
+      switch (outcome) {
+        case AccessOutcome::kHit:
+          ++result.cs_stats.hits;
+          break;
+        case AccessOutcome::kColdMiss:
+          ++result.cs_stats.cold_misses;
+          break;
+        case AccessOutcome::kSelfMiss:
+          ++result.cs_stats.self_misses;
+          break;
+        case AccessOutcome::kExtrinsicMiss:
+          ++result.cs_stats.extrinsic_misses;
+          break;
+      }
+    }
+    // Non-critical section: random lines in the thread-private region.
+    for (std::uint32_t a = 0; a < config.ncs_accesses; ++a) {
+      const std::uint64_t addr = ncs_base(tid) + rng.NextBelow(config.ncs_footprint_bytes);
+      const AccessOutcome outcome = cache.Access(tid, addr);
+      switch (outcome) {
+        case AccessOutcome::kHit:
+          ++result.ncs_stats.hits;
+          break;
+        case AccessOutcome::kColdMiss:
+          ++result.ncs_stats.cold_misses;
+          break;
+        case AccessOutcome::kSelfMiss:
+          ++result.ncs_stats.self_misses;
+          break;
+        case AccessOutcome::kExtrinsicMiss:
+          ++result.ncs_stats.extrinsic_misses;
+          break;
+      }
+    }
+  }
+  result.cs_miss_rate = result.cs_stats.MissRate();
+  const std::uint64_t cs_accesses = result.cs_stats.Accesses();
+  result.cs_extrinsic_rate =
+      cs_accesses == 0
+          ? 0.0
+          : static_cast<double>(result.cs_stats.extrinsic_misses) / static_cast<double>(cs_accesses);
+  return result;
+}
+
+}  // namespace malthus

@@ -1,0 +1,58 @@
+// Admission-schedule replay through the cache model — the "special version
+// of RandArray" from §6.1.
+//
+// Synthesizes the RandArray access pattern (a shared CS array plus one
+// private NCS array per thread) and replays it under a given admission
+// schedule. Comparing a strict-FIFO round-robin schedule over all N threads
+// against a CR schedule cycling over an ACS of k threads shows, deterministically
+// and host-independently, how CR converts extrinsic CS misses into hits
+// once the ACS footprint fits the cache.
+#ifndef MALTHUS_SRC_CACHESIM_REPLAY_H_
+#define MALTHUS_SRC_CACHESIM_REPLAY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/cachesim/cache.h"
+
+namespace malthus {
+
+struct ReplayConfig {
+  std::uint32_t threads = 16;
+  // Size of each thread-private NCS array and the shared CS array, bytes.
+  std::uint64_t ncs_footprint_bytes = 1u << 20;
+  std::uint64_t cs_footprint_bytes = 1u << 20;
+  // Random accesses per critical / non-critical section (paper: 100 / 400).
+  std::uint32_t cs_accesses = 100;
+  std::uint32_t ncs_accesses = 400;
+  std::uint64_t total_admissions = 20000;
+  std::uint64_t seed = 42;
+};
+
+// An admission schedule maps admission ordinal -> thread id.
+using AdmissionSchedule = std::vector<std::uint32_t>;
+
+// Strict FIFO: round-robin cyclic over all threads (classic MCS behaviour
+// under saturation).
+AdmissionSchedule MakeFifoSchedule(std::uint32_t threads, std::uint64_t admissions);
+
+// CR: cyclic over an ACS of `acs_size` threads, with every thread rotated
+// through the ACS once per `fairness_period` admissions (long-term
+// fairness), mirroring MCSCR's steady state.
+AdmissionSchedule MakeCrSchedule(std::uint32_t threads, std::uint32_t acs_size,
+                                 std::uint64_t admissions, std::uint64_t fairness_period = 1000);
+
+struct ReplayResult {
+  CacheStats cs_stats;   // accesses to the shared CS array only
+  CacheStats ncs_stats;  // accesses to private NCS arrays
+  double cs_miss_rate = 0.0;
+  double cs_extrinsic_rate = 0.0;  // extrinsic misses / CS accesses
+};
+
+// Replays the workload under `schedule` through a cache of `cache_config`.
+ReplayResult ReplaySchedule(const ReplayConfig& config, const CacheConfig& cache_config,
+                            const AdmissionSchedule& schedule);
+
+}  // namespace malthus
+
+#endif  // MALTHUS_SRC_CACHESIM_REPLAY_H_

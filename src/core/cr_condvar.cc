@@ -1,0 +1,58 @@
+#include "src/core/cr_condvar.h"
+
+namespace malthus {
+
+void CrCondVar::Enqueue(Waiter* w) {
+  const bool append = ThreadLocalRng().BernoulliP(opts_.append_probability);
+  Guard();
+  if (head_ == nullptr) {
+    head_ = tail_ = w;
+  } else if (append) {
+    w->prev = tail_;
+    tail_->next = w;
+    tail_ = w;
+  } else {
+    w->next = head_;
+    head_->prev = w;
+    head_ = w;
+  }
+  count_.fetch_add(1, std::memory_order_relaxed);
+  Unguard();
+}
+
+void CrCondVar::Signal() {
+  Guard();
+  Waiter* w = head_;
+  if (w != nullptr) {
+    head_ = w->next;
+    if (head_ != nullptr) {
+      head_->prev = nullptr;
+    } else {
+      tail_ = nullptr;
+    }
+    count_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  Unguard();
+  if (w != nullptr) {
+    Parker* parker = w->parker;  // Read before the release of w's frame.
+    w->state.store(kSignaled, std::memory_order_release);
+    parker->Unpark();
+  }
+}
+
+void CrCondVar::Broadcast() {
+  Guard();
+  Waiter* w = head_;
+  head_ = tail_ = nullptr;
+  count_.store(0, std::memory_order_relaxed);
+  Unguard();
+  while (w != nullptr) {
+    Waiter* next = w->next;
+    Parker* parker = w->parker;
+    w->state.store(kSignaled, std::memory_order_release);
+    parker->Unpark();
+    w = next;
+  }
+}
+
+}  // namespace malthus

@@ -1,0 +1,77 @@
+#include "src/core/cr_semaphore.h"
+
+namespace malthus {
+
+void CrSemaphore::Wait() {
+  ThreadCtx& self = Self();
+  Waiter w;
+  w.parker = &self.parker;
+
+  Guard();
+  if (count_ > 0) {
+    --count_;
+    Unguard();
+    return;
+  }
+  const bool append = ThreadLocalRng().BernoulliP(opts_.append_probability);
+  if (head_ == nullptr) {
+    head_ = tail_ = &w;
+  } else if (append) {
+    w.prev = tail_;
+    tail_->next = &w;
+    tail_ = &w;
+  } else {
+    w.next = head_;
+    head_->prev = &w;
+    head_ = &w;
+  }
+  waiters_.fetch_add(1, std::memory_order_relaxed);
+  Unguard();
+
+  while (w.state.load(std::memory_order_acquire) == kQueued) {
+    self.parker.Park();
+  }
+  // The permit was handed to us directly by a poster; nothing to consume.
+}
+
+bool CrSemaphore::TryWait() {
+  Guard();
+  if (count_ > 0) {
+    --count_;
+    Unguard();
+    return true;
+  }
+  Unguard();
+  return false;
+}
+
+void CrSemaphore::Post() {
+  Guard();
+  Waiter* w = head_;
+  if (w != nullptr) {
+    head_ = w->next;
+    if (head_ != nullptr) {
+      head_->prev = nullptr;
+    } else {
+      tail_ = nullptr;
+    }
+    waiters_.fetch_sub(1, std::memory_order_relaxed);
+  } else {
+    ++count_;
+  }
+  Unguard();
+  if (w != nullptr) {
+    Parker* parker = w->parker;  // w's frame may die once state is stored.
+    w->state.store(kGrantedPermit, std::memory_order_release);
+    parker->Unpark();
+  }
+}
+
+std::int64_t CrSemaphore::Count() const {
+  Guard();
+  const std::int64_t c = count_;
+  Unguard();
+  return c;
+}
+
+}  // namespace malthus

@@ -1,0 +1,8 @@
+#include "src/core/lifocr.h"
+
+namespace malthus {
+
+template class LifoCrLock<SpinPolicy>;
+template class LifoCrLock<SpinThenParkPolicy>;
+
+}  // namespace malthus

@@ -1,0 +1,167 @@
+// LIFO-CR (paper §A.2): a pure LIFO lock — an explicit stack of waiting
+// threads — augmented with periodic eldest-first grants for long-term
+// fairness.
+//
+// The lock word encodes three states:
+//   0        — free
+//   1        — held, no waiters
+//   Node*    — held, with a stack of waiters (top = most recently arrived)
+//
+// Contended arrivals push a node and wait on their own flag. At unlock the
+// owner pops the head — the most recently arrived thread, which is the most
+// likely to still be spinning (cheap to wake) and the warmest in cache. The
+// ACS is the owner + the circulating threads + the top of the stack; deeper
+// nodes form the passive set. A Bernoulli trial occasionally unlinks the
+// stack *bottom* (the eldest waiter) and grants it instead, bounding
+// starvation.
+//
+// Only the lock holder pops, so the stack is multi-producer/single-consumer
+// and pops are immune to ABA. The push CAS can only succeed if the observed
+// top is genuinely on the stack, so pushes are safe too.
+#ifndef MALTHUS_SRC_CORE_LIFOCR_H_
+#define MALTHUS_SRC_CORE_LIFOCR_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/locks/lock_base.h"
+#include "src/metrics/admission_log.h"
+#include "src/rng/xorshift.h"
+#include "src/waiting/policy.h"
+
+namespace malthus {
+
+struct LifoCrOptions {
+  std::uint64_t fairness_one_in = 1000;
+  std::uint32_t spin_budget = kAutoSpinBudget;
+};
+
+template <typename WaitPolicy>
+class LifoCrLock {
+ public:
+  LifoCrLock() { opts_.spin_budget = ResolveSpinBudget(opts_.spin_budget); }
+  explicit LifoCrLock(const LifoCrOptions& opts) : opts_(opts) {
+    opts_.spin_budget = ResolveSpinBudget(opts_.spin_budget);
+  }
+  LifoCrLock(const LifoCrLock&) = delete;
+  LifoCrLock& operator=(const LifoCrLock&) = delete;
+
+  void lock() {
+    ThreadCtx& self = Self();
+    std::uintptr_t cur = word_.load(std::memory_order_relaxed);
+    QNode* me = nullptr;
+    while (true) {
+      if (cur == kFree) {
+        if (word_.compare_exchange_weak(cur, kHeldNoWaiters, std::memory_order_acquire,
+                                        std::memory_order_relaxed)) {
+          break;  // Fast path.
+        }
+        continue;  // cur reloaded by the failed CAS.
+      }
+      // Held: push ourselves onto the waiter stack.
+      if (me == nullptr) {
+        me = AcquireQNode();
+        me->PrepareForWait(self);
+      }
+      me->next.store(cur == kHeldNoWaiters ? nullptr : reinterpret_cast<QNode*>(cur),
+                     std::memory_order_relaxed);
+      if (word_.compare_exchange_weak(cur, reinterpret_cast<std::uintptr_t>(me),
+                                      std::memory_order_release, std::memory_order_relaxed)) {
+        WaitPolicy::Await(me->status, kWaiting, self.parker, opts_.spin_budget);
+        break;  // Granted; our node has been unlinked by the granter.
+      }
+    }
+    if (me != nullptr) {
+      ReleaseQNode(me);
+    }
+    if (recorder_ != nullptr) {
+      recorder_->Record(self.id);
+    }
+  }
+
+  bool try_lock() {
+    std::uintptr_t expected = kFree;
+    return word_.compare_exchange_strong(expected, kHeldNoWaiters, std::memory_order_acquire,
+                                         std::memory_order_relaxed);
+  }
+
+  void unlock() {
+    std::uintptr_t cur = word_.load(std::memory_order_acquire);
+    while (true) {
+      if (cur == kHeldNoWaiters) {
+        if (word_.compare_exchange_weak(cur, kFree, std::memory_order_release,
+                                        std::memory_order_acquire)) {
+          return;
+        }
+        continue;  // A waiter pushed concurrently.
+      }
+      QNode* top = reinterpret_cast<QNode*>(cur);
+      QNode* below = top->next.load(std::memory_order_relaxed);
+
+      if (below != nullptr && opts_.fairness_one_in != 0 &&
+          ThreadLocalRng().BernoulliOneIn(opts_.fairness_one_in)) {
+        // Anti-starvation: unlink the stack bottom (the eldest waiter) and
+        // grant it. Links below the observed top are frozen (pushes only
+        // alter the top; we are the only popper), so the walk is safe.
+        QNode* prev = top;
+        QNode* bottom = below;
+        while (true) {
+          QNode* nxt = bottom->next.load(std::memory_order_relaxed);
+          if (nxt == nullptr) {
+            break;
+          }
+          prev = bottom;
+          bottom = nxt;
+        }
+        prev->next.store(nullptr, std::memory_order_relaxed);
+        fairness_grants_.fetch_add(1, std::memory_order_relaxed);
+        Grant(bottom);
+        return;
+      }
+
+      // Normal LIFO pop of the most recently arrived waiter.
+      const std::uintptr_t newtop =
+          below == nullptr ? kHeldNoWaiters : reinterpret_cast<std::uintptr_t>(below);
+      if (word_.compare_exchange_weak(cur, newtop, std::memory_order_acq_rel,
+                                      std::memory_order_acquire)) {
+        Grant(top);
+        return;
+      }
+      // New arrivals changed the top; retry with the fresh value.
+    }
+  }
+
+  void set_recorder(AdmissionLog* recorder) { recorder_ = recorder; }
+  void set_options(const LifoCrOptions& opts) {
+    opts_ = opts;
+    opts_.spin_budget = ResolveSpinBudget(opts_.spin_budget);
+  }
+
+  std::uint64_t fairness_grants() const {
+    return fairness_grants_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr std::uintptr_t kFree = 0;
+  static constexpr std::uintptr_t kHeldNoWaiters = 1;
+
+  void Grant(QNode* node) {
+    Parker* parker = node->parker;
+    node->status.store(kGranted, std::memory_order_release);
+    // The waiter may recycle `node` as soon as it observes the grant, so the
+    // wake goes through the pre-read parker, never through the node.
+    WaitPolicy::Wake(*parker);
+  }
+
+  alignas(kCacheLineSize) std::atomic<std::uintptr_t> word_{kFree};
+  std::atomic<std::uint64_t> fairness_grants_{0};
+  AdmissionLog* recorder_ = nullptr;
+  LifoCrOptions opts_;
+};
+
+using LifoCrSpinLock = LifoCrLock<SpinPolicy>;
+using LifoCrStpLock = LifoCrLock<SpinThenParkPolicy>;
+
+}  // namespace malthus
+
+#endif  // MALTHUS_SRC_CORE_LIFOCR_H_

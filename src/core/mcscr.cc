@@ -1,0 +1,10 @@
+#include "src/core/mcscr.h"
+
+namespace malthus {
+
+// Instantiation anchors.
+template class McscrLock<SpinPolicy>;
+template class McscrLock<SpinThenParkPolicy>;
+template class McscrLock<ParkPolicy>;
+
+}  // namespace malthus

@@ -1,0 +1,271 @@
+// MCSCR — the paper's primary contribution (§4): a classic MCS lock
+// augmented with concurrency restriction via an explicit passive list.
+//
+// All CR logic lives in the unlock path; lock() is unchanged MCS. The main
+// MCS chain holds the (implicit) active circulating set; the passive set is
+// an explicit doubly-linked list of culled nodes, protected by the lock
+// itself (only the owner touches it).
+//
+// At unlock time:
+//   * Long-term fairness — with probability 1/fairness_one_in, the *tail*
+//     of the PS (the least recently arrived passive thread) is grafted into
+//     the chain immediately after the owner and granted the lock.
+//   * Deficit — if the chain is empty except for the owner and the PS is
+//     non-empty, the *head* of the PS (most recently passivated, warmest,
+//     most likely still spinning) is re-provisioned and granted, keeping
+//     the policy work conserving: the critical section is never left idle
+//     while waiters exist.
+//   * Surplus — if there are intermediate nodes strictly between the owner
+//     and the tail, the immediate successor is excised and prepended to the
+//     PS (up to cull_limit per unlock; the paper excises one). Culling
+//     drives the system toward the desirable steady state of exactly one
+//     waiter on the chain, giving cyclic admission over a minimal ACS and
+//     mostly-LIFO admission overall.
+//
+// Absent contention MCSCR behaves exactly like MCS. The size of the ACS is
+// emergent, not a tunable; the only knobs are the fairness probability and
+// the spin budget (§7 "parameter parsimony").
+#ifndef MALTHUS_SRC_CORE_MCSCR_H_
+#define MALTHUS_SRC_CORE_MCSCR_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/locks/lock_base.h"
+#include "src/metrics/admission_log.h"
+#include "src/rng/xorshift.h"
+#include "src/waiting/policy.h"
+
+namespace malthus {
+
+struct McscrOptions {
+  // Bernoulli fairness: admit the eldest passive thread on average once per
+  // this many unlocks. 0 disables explicit fairness (pure CR).
+  std::uint64_t fairness_one_in = 1000;
+  // Max culls per unlock. 0 disables CR entirely (degenerates to MCS);
+  // UINT32_MAX drains all surplus in one unlock.
+  std::uint32_t cull_limit = 1;
+  // kAutoSpinBudget resolves to the calibrated context-switch round trip.
+  std::uint32_t spin_budget = kAutoSpinBudget;
+  // Anticipatory warmup (paper §5.1, optional): when handing off, also
+  // unpark the waiter *behind* the successor so that by the time it is
+  // granted it is spinning rather than blocked in the kernel. Increases the
+  // odds that direct handoff lands on a runnable thread, at the cost of one
+  // (possibly kernel-entering) unpark inside the critical section.
+  bool anticipatory_warmup = false;
+};
+
+template <typename WaitPolicy>
+class McscrLock {
+ public:
+  McscrLock() { opts_.spin_budget = ResolveSpinBudget(opts_.spin_budget); }
+  explicit McscrLock(const McscrOptions& opts) : opts_(opts) {
+    opts_.spin_budget = ResolveSpinBudget(opts_.spin_budget);
+  }
+  McscrLock(const McscrLock&) = delete;
+  McscrLock& operator=(const McscrLock&) = delete;
+
+  void lock() {
+    ThreadCtx& self = Self();
+    QNode* me = AcquireQNode();
+    me->PrepareForWait(self);
+    QNode* prev = tail_.exchange(me, std::memory_order_acq_rel);
+    if (prev != nullptr) {
+      prev->next.store(me, std::memory_order_release);
+      WaitPolicy::Await(me->status, kWaiting, self.parker, opts_.spin_budget);
+    }
+    owner_ = me;
+    if (recorder_ != nullptr) {
+      recorder_->Record(self.id);
+    }
+  }
+
+  bool try_lock() {
+    ThreadCtx& self = Self();
+    QNode* me = AcquireQNode();
+    me->PrepareForWait(self);
+    QNode* expected = nullptr;
+    if (tail_.compare_exchange_strong(expected, me, std::memory_order_acq_rel,
+                                      std::memory_order_relaxed)) {
+      owner_ = me;
+      if (recorder_ != nullptr) {
+        recorder_->Record(self.id);
+      }
+      return true;
+    }
+    ReleaseQNode(me);
+    return false;
+  }
+
+  void unlock() {
+    QNode* me = owner_;
+
+    // Long-term fairness: occasionally cede ownership to the eldest
+    // passivated thread.
+    if (ps_tail_ != nullptr && opts_.fairness_one_in != 0 &&
+        ThreadLocalRng().BernoulliOneIn(opts_.fairness_one_in)) {
+      QNode* eldest = PsPopTail();
+      GraftAsSuccessor(me, eldest);
+      fairness_grants_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+
+    QNode* next = me->next.load(std::memory_order_acquire);
+    if (next == nullptr) {
+      if (ps_head_ != nullptr) {
+        // Deficit: re-provision from the PS head to stay work conserving.
+        QNode* warm = PsPopHead();
+        warm->next.store(nullptr, std::memory_order_relaxed);
+        QNode* expected = me;
+        if (tail_.compare_exchange_strong(expected, warm, std::memory_order_release,
+                                          std::memory_order_relaxed)) {
+          reprovisions_.fetch_add(1, std::memory_order_relaxed);
+          Grant(warm);
+          ReleaseQNode(me);
+          return;
+        }
+        // An arrival raced the swap; it will keep the lock saturated, so the
+        // passive thread stays passive.
+        PsPushHead(warm);
+        next = SpinForSuccessor(me);
+      } else {
+        QNode* expected = me;
+        if (tail_.compare_exchange_strong(expected, nullptr, std::memory_order_release,
+                                          std::memory_order_relaxed)) {
+          ReleaseQNode(me);
+          return;  // Lock free; work conservation holds because PS is empty.
+        }
+        next = SpinForSuccessor(me);
+      }
+    }
+
+    // Surplus: excise intermediate waiters (those that themselves have a
+    // successor) into the PS. The chain tail always stays.
+    std::uint32_t culled = 0;
+    while (culled < opts_.cull_limit) {
+      QNode* after = next->next.load(std::memory_order_acquire);
+      if (after == nullptr) {
+        break;
+      }
+      PsPushHead(next);
+      culls_.fetch_add(1, std::memory_order_relaxed);
+      ++culled;
+      next = after;
+    }
+    if (opts_.anticipatory_warmup && WaitPolicy::kParks) {
+      // The chain pins `heir` (its thread is waiting), so its Parker is
+      // valid here; a stale permit is benign if it gets culled instead.
+      QNode* heir = next->next.load(std::memory_order_acquire);
+      if (heir != nullptr) {
+        heir->parker->Unpark();
+        warmups_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    Grant(next);
+    ReleaseQNode(me);
+  }
+
+  void set_recorder(AdmissionLog* recorder) { recorder_ = recorder; }
+  void set_options(const McscrOptions& opts) {
+    opts_ = opts;
+    opts_.spin_budget = ResolveSpinBudget(opts_.spin_budget);
+  }
+  const McscrOptions& options() const { return opts_; }
+
+  // Instrumentation. ps_size is exact only while the lock is quiescent.
+  std::uint64_t culls() const { return culls_.load(std::memory_order_relaxed); }
+  std::uint64_t reprovisions() const { return reprovisions_.load(std::memory_order_relaxed); }
+  std::uint64_t fairness_grants() const {
+    return fairness_grants_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t warmups() const { return warmups_.load(std::memory_order_relaxed); }
+  std::size_t passive_set_size() const { return ps_size_.load(std::memory_order_relaxed); }
+
+ private:
+  void Grant(QNode* next) {
+    owner_ = next;
+    next->status.store(kGranted, std::memory_order_release);
+    WaitPolicy::Wake(*next->parker);
+  }
+
+  // Grafts `node` into the chain as the owner's immediate successor and
+  // passes it the lock, handling the empty-chain race with arrivals.
+  void GraftAsSuccessor(QNode* me, QNode* node) {
+    QNode* next = me->next.load(std::memory_order_acquire);
+    if (next == nullptr) {
+      node->next.store(nullptr, std::memory_order_relaxed);
+      QNode* expected = me;
+      if (tail_.compare_exchange_strong(expected, node, std::memory_order_release,
+                                        std::memory_order_relaxed)) {
+        Grant(node);
+        ReleaseQNode(me);
+        return;
+      }
+      next = SpinForSuccessor(me);
+    }
+    node->next.store(next, std::memory_order_relaxed);
+    Grant(node);
+    ReleaseQNode(me);
+  }
+
+  // Passive list helpers. Owner-protected: called only while holding the
+  // lock, so plain fields suffice; happens-before across owners rides the
+  // grant flag's release/acquire edge (or the tail CAS for the free path).
+  void PsPushHead(QNode* n) {
+    n->list_prev = nullptr;
+    n->list_next = ps_head_;
+    if (ps_head_ != nullptr) {
+      ps_head_->list_prev = n;
+    } else {
+      ps_tail_ = n;
+    }
+    ps_head_ = n;
+    ps_size_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  QNode* PsPopHead() {
+    QNode* n = ps_head_;
+    ps_head_ = n->list_next;
+    if (ps_head_ != nullptr) {
+      ps_head_->list_prev = nullptr;
+    } else {
+      ps_tail_ = nullptr;
+    }
+    ps_size_.fetch_sub(1, std::memory_order_relaxed);
+    return n;
+  }
+
+  QNode* PsPopTail() {
+    QNode* n = ps_tail_;
+    ps_tail_ = n->list_prev;
+    if (ps_tail_ != nullptr) {
+      ps_tail_->list_next = nullptr;
+    } else {
+      ps_head_ = nullptr;
+    }
+    ps_size_.fetch_sub(1, std::memory_order_relaxed);
+    return n;
+  }
+
+  std::atomic<QNode*> tail_{nullptr};
+  QNode* owner_ = nullptr;
+  QNode* ps_head_ = nullptr;
+  QNode* ps_tail_ = nullptr;
+  std::atomic<std::size_t> ps_size_{0};
+  std::atomic<std::uint64_t> culls_{0};
+  std::atomic<std::uint64_t> reprovisions_{0};
+  std::atomic<std::uint64_t> fairness_grants_{0};
+  std::atomic<std::uint64_t> warmups_{0};
+  AdmissionLog* recorder_ = nullptr;
+  McscrOptions opts_;
+};
+
+using McscrSpinLock = McscrLock<SpinPolicy>;    // MCSCR-S
+using McscrStpLock = McscrLock<SpinThenParkPolicy>;  // MCSCR-STP
+
+// The library's recommended default lock: MCSCR with spin-then-park waiting.
+using MalthusianMutex = McscrStpLock;
+
+}  // namespace malthus
+
+#endif  // MALTHUS_SRC_CORE_MCSCR_H_

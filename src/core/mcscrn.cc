@@ -1,0 +1,8 @@
+#include "src/core/mcscrn.h"
+
+namespace malthus {
+
+template class McscrnLock<SpinPolicy>;
+template class McscrnLock<SpinThenParkPolicy>;
+
+}  // namespace malthus

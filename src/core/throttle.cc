@@ -1,0 +1,12 @@
+#include "src/core/throttle.h"
+
+#include "src/locks/mcs.h"
+#include "src/locks/tas.h"
+
+namespace malthus {
+
+// Instantiation anchors.
+template class ThrottledLock<McsSpinLock>;
+template class ThrottledLock<TtasLock>;
+
+}  // namespace malthus

@@ -1,0 +1,38 @@
+#include "src/core/topology.h"
+
+#include "src/platform/sysinfo.h"
+
+namespace malthus {
+
+Topology& Topology::Instance() {
+  static Topology instance;
+  return instance;
+}
+
+void Topology::ConfigureSimulated(std::uint32_t node_count) {
+  node_count_.store(node_count == 0 ? 1 : node_count, std::memory_order_relaxed);
+  mode_.store(Mode::kSimulatedRoundRobin, std::memory_order_relaxed);
+}
+
+void Topology::ConfigureReal(std::uint32_t node_count, std::uint32_t cpus_per_node) {
+  node_count_.store(node_count == 0 ? 1 : node_count, std::memory_order_relaxed);
+  cpus_per_node_.store(cpus_per_node == 0 ? 1 : cpus_per_node, std::memory_order_relaxed);
+  mode_.store(Mode::kRealCpu, std::memory_order_relaxed);
+}
+
+std::uint32_t Topology::NodeOf(const ThreadCtx& self) const {
+  const std::uint32_t nodes = node_count_.load(std::memory_order_relaxed);
+  if (self.forced_node != UINT32_MAX) {
+    return self.forced_node % nodes;
+  }
+  if (mode_.load(std::memory_order_relaxed) == Mode::kRealCpu) {
+    const int cpu = CurrentCpu();
+    if (cpu >= 0) {
+      return (static_cast<std::uint32_t>(cpu) / cpus_per_node_.load(std::memory_order_relaxed)) %
+             nodes;
+    }
+  }
+  return self.id % nodes;
+}
+
+}  // namespace malthus

@@ -1,0 +1,47 @@
+// NUMA topology provider for MCSCRN.
+//
+// The paper's MCSCRN experiments ran on a 2-socket SPARC T5-2; this
+// environment is a single-node container, so the default provider
+// *simulates* a multi-socket topology by assigning threads to nodes
+// round-robin by dense thread id (deterministic, which the tests rely on).
+// A thread can pin itself to a node via ThreadCtx::forced_node, and a
+// "real" mode derives the node from sched_getcpu() for actual NUMA hosts.
+// See DESIGN.md §2 (substitutions).
+#ifndef MALTHUS_SRC_CORE_TOPOLOGY_H_
+#define MALTHUS_SRC_CORE_TOPOLOGY_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/platform/thread_registry.h"
+
+namespace malthus {
+
+class Topology {
+ public:
+  enum class Mode : std::uint8_t {
+    kSimulatedRoundRobin,  // node = tid % node_count (default)
+    kRealCpu,              // node = sched_getcpu() / cpus_per_node
+  };
+
+  static Topology& Instance();
+
+  void ConfigureSimulated(std::uint32_t node_count);
+  void ConfigureReal(std::uint32_t node_count, std::uint32_t cpus_per_node);
+
+  std::uint32_t node_count() const { return node_count_.load(std::memory_order_relaxed); }
+
+  // Node of the calling thread (honours ThreadCtx::forced_node).
+  std::uint32_t NodeOf(const ThreadCtx& self) const;
+
+ private:
+  Topology() = default;
+
+  std::atomic<Mode> mode_{Mode::kSimulatedRoundRobin};
+  std::atomic<std::uint32_t> node_count_{2};
+  std::atomic<std::uint32_t> cpus_per_node_{1};
+};
+
+}  // namespace malthus
+
+#endif  // MALTHUS_SRC_CORE_TOPOLOGY_H_

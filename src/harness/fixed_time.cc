@@ -1,0 +1,56 @@
+#include "src/harness/fixed_time.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "src/platform/sysinfo.h"
+
+namespace malthus {
+namespace {
+
+long EnvLong(const char* name, long fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') {
+    return fallback;
+  }
+  char* end = nullptr;
+  const long parsed = std::strtol(value, &end, 10);
+  return (end != value && parsed > 0) ? parsed : fallback;
+}
+
+}  // namespace
+
+std::chrono::milliseconds DefaultBenchDuration() {
+  return std::chrono::milliseconds(EnvLong("MALTHUS_BENCH_MS", 100));
+}
+
+int DefaultBenchRepetitions() { return static_cast<int>(EnvLong("MALTHUS_BENCH_REPS", 1)); }
+
+int MaxSweepThreads() {
+  return static_cast<int>(EnvLong("MALTHUS_BENCH_MAXTHREADS", 2L * LogicalCpuCount()));
+}
+
+std::vector<int> SweepThreadCounts(int cap) {
+  // Log-spaced like the paper's X axis, clipped to cap, with the CPU count
+  // and the cap itself always present (that is where the interesting
+  // inflections live).
+  static constexpr int kBase[] = {1, 2, 3, 5, 8, 12, 16, 24, 32, 48, 64, 96, 128, 192, 256};
+  std::vector<int> counts;
+  for (const int c : kBase) {
+    if (c <= cap) {
+      counts.push_back(c);
+    }
+  }
+  const int cpus = LogicalCpuCount();
+  if (cpus <= cap && std::find(counts.begin(), counts.end(), cpus) == counts.end()) {
+    counts.push_back(cpus);
+  }
+  if (std::find(counts.begin(), counts.end(), cap) == counts.end()) {
+    counts.push_back(cap);
+  }
+  std::sort(counts.begin(), counts.end());
+  counts.erase(std::unique(counts.begin(), counts.end()), counts.end());
+  return counts;
+}
+
+}  // namespace malthus

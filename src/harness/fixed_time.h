@@ -1,0 +1,129 @@
+// Fixed-time-report-work benchmark driver (the paper's §6 methodology):
+// spawn N concurrent threads, release them through a start barrier, run for
+// a fixed measurement interval, and report the aggregate iterations
+// completed — plus rusage deltas (voluntary context switches, CPU
+// utilization) and the energy proxy for the Figure-4-style tables.
+//
+// The body callable is invoked once per iteration as body(thread_index);
+// per-thread state lives in closures indexed by thread_index. Counters are
+// cache-line padded. Median-of-K is provided by RunMedianOfK.
+//
+// Environment knobs (all optional):
+//   MALTHUS_BENCH_MS          — measurement interval per point (default 100)
+//   MALTHUS_BENCH_REPS        — repetitions for the median (default 1)
+//   MALTHUS_BENCH_MAXTHREADS  — cap on sweep thread counts (default 2×CPUs)
+#ifndef MALTHUS_SRC_HARNESS_FIXED_TIME_H_
+#define MALTHUS_SRC_HARNESS_FIXED_TIME_H_
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "src/platform/align.h"
+#include "src/platform/rusage.h"
+
+namespace malthus {
+
+struct BenchConfig {
+  int threads = 1;
+  std::chrono::milliseconds duration{100};
+};
+
+struct BenchResult {
+  std::uint64_t total_iterations = 0;
+  double wall_seconds = 0.0;
+  UsageDelta usage;
+  std::vector<std::uint64_t> per_thread_iterations;
+
+  double Throughput() const {
+    return wall_seconds > 0 ? static_cast<double>(total_iterations) / wall_seconds : 0.0;
+  }
+};
+
+// Sweep-direction helpers driven by environment variables.
+std::chrono::milliseconds DefaultBenchDuration();
+int DefaultBenchRepetitions();
+int MaxSweepThreads();
+// The paper's log-spaced X axis (1 2 5 10 20 50 100 200), clipped to `cap`
+// and always including `cap` itself so the oversubscription cliff is
+// visible at 2x the CPU count.
+std::vector<int> SweepThreadCounts(int cap);
+
+template <typename Body>
+BenchResult RunFixedTime(const BenchConfig& config, Body&& body) {
+  const int n = config.threads;
+  std::vector<CacheAligned<std::uint64_t>> counters(static_cast<std::size_t>(n));
+  std::atomic<int> ready{0};
+  std::atomic<bool> start{false};
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(n));
+  for (int t = 0; t < n; ++t) {
+    threads.emplace_back([&, t] {
+      ready.fetch_add(1, std::memory_order_acq_rel);
+      while (!start.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+      std::uint64_t local = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        body(t);
+        ++local;
+      }
+      *counters[static_cast<std::size_t>(t)] = local;
+    });
+  }
+
+  while (ready.load(std::memory_order_acquire) != n) {
+    std::this_thread::yield();
+  }
+  const UsageSnapshot usage_begin = CaptureUsage();
+  const auto wall_begin = std::chrono::steady_clock::now();
+  start.store(true, std::memory_order_release);
+  std::this_thread::sleep_for(config.duration);
+  stop.store(true, std::memory_order_release);
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  const auto wall_end = std::chrono::steady_clock::now();
+  const UsageSnapshot usage_end = CaptureUsage();
+
+  BenchResult result;
+  result.wall_seconds = std::chrono::duration<double>(wall_end - wall_begin).count();
+  result.usage = DiffUsage(usage_begin, usage_end, result.wall_seconds);
+  result.per_thread_iterations.reserve(static_cast<std::size_t>(n));
+  for (int t = 0; t < n; ++t) {
+    const std::uint64_t c = *counters[static_cast<std::size_t>(t)];
+    result.per_thread_iterations.push_back(c);
+    result.total_iterations += c;
+  }
+  return result;
+}
+
+// Runs `make_result()` `reps` times and returns the run with the median
+// throughput (ties broken toward the earlier run).
+template <typename MakeResult>
+BenchResult RunMedianOfK(int reps, MakeResult&& make_result) {
+  std::vector<BenchResult> results;
+  results.reserve(static_cast<std::size_t>(reps));
+  for (int i = 0; i < reps; ++i) {
+    results.push_back(make_result());
+  }
+  std::size_t best = 0;
+  std::vector<std::size_t> order(results.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    order[i] = i;
+  }
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return results[a].Throughput() < results[b].Throughput();
+  });
+  best = order[order.size() / 2];
+  return results[best];
+}
+
+}  // namespace malthus
+
+#endif  // MALTHUS_SRC_HARNESS_FIXED_TIME_H_

@@ -1,0 +1,31 @@
+// Minimal fixed-width table renderer for paper-style console output
+// (Figure-4-like in-depth tables and throughput-vs-threads series).
+#ifndef MALTHUS_SRC_HARNESS_TABLE_H_
+#define MALTHUS_SRC_HARNESS_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace malthus {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  // Renders with column-aligned padding and a header underline.
+  std::string Render() const;
+
+  // Formats a double compactly: integers without decimals, otherwise 3
+  // significant decimals; large values with k/M suffixes when `human`.
+  static std::string Num(double v, bool human = false);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace malthus
+
+#endif  // MALTHUS_SRC_HARNESS_TABLE_H_

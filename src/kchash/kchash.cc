@@ -1,0 +1,138 @@
+#include "src/kchash/kchash.h"
+
+namespace malthus {
+
+KcHashCore::KcHashCore(std::size_t bucket_count, std::size_t capacity)
+    : buckets_(bucket_count == 0 ? 1 : bucket_count, nullptr),
+      capacity_(capacity == 0 ? 1 : capacity) {}
+
+KcHashCore::~KcHashCore() {
+  Record* r = lru_head_;
+  while (r != nullptr) {
+    Record* next = r->lru_next;
+    delete r;
+    r = next;
+  }
+}
+
+std::size_t KcHashCore::BucketOf(std::uint64_t key) const {
+  // Fibonacci hashing spreads sequential keys across buckets.
+  return static_cast<std::size_t>((key * 0x9E3779B97F4A7C15ull) >> 32) % buckets_.size();
+}
+
+KcHashCore::Record* KcHashCore::FindInBucket(std::uint64_t key) const {
+  Record* r = buckets_[BucketOf(key)];
+  while (r != nullptr && r->key != key) {
+    r = r->bucket_next;
+  }
+  return r;
+}
+
+void KcHashCore::LruUnlink(Record* r) {
+  if (r->lru_prev != nullptr) {
+    r->lru_prev->lru_next = r->lru_next;
+  } else {
+    lru_head_ = r->lru_next;
+  }
+  if (r->lru_next != nullptr) {
+    r->lru_next->lru_prev = r->lru_prev;
+  } else {
+    lru_tail_ = r->lru_prev;
+  }
+  r->lru_prev = r->lru_next = nullptr;
+}
+
+void KcHashCore::LruPushFront(Record* r) {
+  r->lru_prev = nullptr;
+  r->lru_next = lru_head_;
+  if (lru_head_ != nullptr) {
+    lru_head_->lru_prev = r;
+  } else {
+    lru_tail_ = r;
+  }
+  lru_head_ = r;
+}
+
+void KcHashCore::RemoveRecord(Record* r) {
+  Record** link = &buckets_[BucketOf(r->key)];
+  while (*link != r) {
+    link = &(*link)->bucket_next;
+  }
+  *link = r->bucket_next;
+  LruUnlink(r);
+  delete r;
+  --size_;
+}
+
+void KcHashCore::EvictColdest() {
+  if (lru_tail_ != nullptr) {
+    ++evictions_;
+    RemoveRecord(lru_tail_);
+  }
+}
+
+void KcHashCore::Set(std::uint64_t key, std::string value) {
+  Record* r = FindInBucket(key);
+  if (r != nullptr) {
+    r->value = std::move(value);
+    LruUnlink(r);
+    LruPushFront(r);
+    return;
+  }
+  while (size_ >= capacity_) {
+    EvictColdest();
+  }
+  r = new Record{key, std::move(value)};
+  r->bucket_next = buckets_[BucketOf(key)];
+  buckets_[BucketOf(key)] = r;
+  LruPushFront(r);
+  ++size_;
+}
+
+std::optional<std::string> KcHashCore::Get(std::uint64_t key) {
+  Record* r = FindInBucket(key);
+  if (r == nullptr) {
+    return std::nullopt;
+  }
+  LruUnlink(r);
+  LruPushFront(r);
+  return r->value;
+}
+
+bool KcHashCore::Remove(std::uint64_t key) {
+  Record* r = FindInBucket(key);
+  if (r == nullptr) {
+    return false;
+  }
+  RemoveRecord(r);
+  return true;
+}
+
+bool KcHashCore::CheckInvariants() const {
+  // Every bucket record appears in the LRU list exactly once, and sizes
+  // agree.
+  std::size_t bucket_records = 0;
+  for (const Record* r : buckets_) {
+    while (r != nullptr) {
+      ++bucket_records;
+      r = r->bucket_next;
+    }
+  }
+  std::size_t lru_records = 0;
+  const Record* prev = nullptr;
+  const Record* r = lru_head_;
+  while (r != nullptr) {
+    if (r->lru_prev != prev) {
+      return false;
+    }
+    ++lru_records;
+    prev = r;
+    r = r->lru_next;
+  }
+  if (lru_tail_ != prev) {
+    return false;
+  }
+  return bucket_records == size_ && lru_records == size_ && size_ <= capacity_;
+}
+
+}  // namespace malthus

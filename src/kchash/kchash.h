@@ -1,0 +1,122 @@
+// kchash — an in-memory hash cache database standing in for Kyoto Cabinet's
+// CacheDB in the Figure-9 kccachetest experiment (DESIGN.md §2).
+//
+// Open-chaining hash buckets hold records {key, value}; a global intrusive
+// LRU list enforces a capacity bound by evicting the coldest record on
+// insert. The whole structure sits behind ONE pthread-style mutex (template
+// parameter), reproducing the contention profile the paper reports as
+// "known to be sensitive to the choice of lock algorithm": a hot central
+// lock whose critical sections walk sizeable in-memory state (the LLC-
+// resident working set).
+//
+// The Wicked() helper runs kccachetest's mixed workload: random set / get /
+// remove over a fixed key range.
+#ifndef MALTHUS_SRC_KCHASH_KCHASH_H_
+#define MALTHUS_SRC_KCHASH_KCHASH_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/rng/xorshift.h"
+
+namespace malthus {
+
+// Single-threaded core; see LockedKcHash below for the benchmarked form.
+class KcHashCore {
+ public:
+  KcHashCore(std::size_t bucket_count, std::size_t capacity);
+  ~KcHashCore();
+  KcHashCore(const KcHashCore&) = delete;
+  KcHashCore& operator=(const KcHashCore&) = delete;
+
+  void Set(std::uint64_t key, std::string value);
+  std::optional<std::string> Get(std::uint64_t key);
+  bool Remove(std::uint64_t key);
+  std::size_t Size() const { return size_; }
+  std::uint64_t evictions() const { return evictions_; }
+
+  // Test hook: bucket chains consistent with the LRU list.
+  bool CheckInvariants() const;
+
+ private:
+  struct Record {
+    std::uint64_t key;
+    std::string value;
+    Record* bucket_next = nullptr;
+    Record* lru_prev = nullptr;
+    Record* lru_next = nullptr;
+  };
+
+  std::size_t BucketOf(std::uint64_t key) const;
+  Record* FindInBucket(std::uint64_t key) const;
+  void LruUnlink(Record* r);
+  void LruPushFront(Record* r);
+  void EvictColdest();
+  void RemoveRecord(Record* r);
+
+  std::vector<Record*> buckets_;
+  Record* lru_head_ = nullptr;  // most recently used
+  Record* lru_tail_ = nullptr;  // eviction end
+  std::size_t size_ = 0;
+  std::size_t capacity_;
+  std::uint64_t evictions_ = 0;
+};
+
+template <typename Lock>
+class LockedKcHash {
+ public:
+  LockedKcHash(std::size_t bucket_count, std::size_t capacity) : core_(bucket_count, capacity) {}
+
+  void Set(std::uint64_t key, std::string value) {
+    lock_.lock();
+    core_.Set(key, std::move(value));
+    lock_.unlock();
+  }
+
+  std::optional<std::string> Get(std::uint64_t key) {
+    lock_.lock();
+    auto v = core_.Get(key);
+    lock_.unlock();
+    return v;
+  }
+
+  bool Remove(std::uint64_t key) {
+    lock_.lock();
+    const bool removed = core_.Remove(key);
+    lock_.unlock();
+    return removed;
+  }
+
+  // One kccachetest "wicked" step: randomized op over [0, key_range).
+  void WickedStep(XorShift64& rng, std::uint64_t key_range) {
+    const std::uint64_t key = rng.NextBelow(key_range);
+    switch (rng.NextBelow(8)) {
+      case 0:
+      case 1:
+      case 2:
+        Set(key, std::string(reinterpret_cast<const char*>(&key), sizeof(key)));
+        break;
+      case 3:
+        Remove(key);
+        break;
+      default:
+        Get(key);
+        break;
+    }
+  }
+
+  Lock& lock() { return lock_; }
+  KcHashCore& core() { return core_; }
+
+ private:
+  Lock lock_;
+  KcHashCore core_;
+};
+
+}  // namespace malthus
+
+#endif  // MALTHUS_SRC_KCHASH_KCHASH_H_

@@ -1,0 +1,88 @@
+#include "src/locks/any_lock.h"
+
+#include <mutex>
+
+#include "src/core/lifocr.h"
+#include "src/core/loiter.h"
+#include "src/core/mcscr.h"
+#include "src/core/mcscrn.h"
+#include "src/locks/clh.h"
+#include "src/locks/mcs.h"
+#include "src/locks/pthread_style.h"
+#include "src/locks/tas.h"
+#include "src/locks/ticket.h"
+
+namespace malthus {
+namespace {
+
+// Degenerate lock whose acquire/release return immediately. Only suitable
+// for embarrassingly trivial microbenchmarks; it provides the "ideal lock"
+// upper bound in Figure 3.
+class NullLock {
+ public:
+  void lock() {}
+  void unlock() {}
+};
+
+}  // namespace
+
+std::unique_ptr<AnyLock> MakeLock(const std::string& name) {
+  if (name == "null") {
+    return std::make_unique<LockAdapter<NullLock>>(name);
+  }
+  if (name == "std") {
+    return std::make_unique<LockAdapter<std::mutex>>(name);
+  }
+  if (name == "tas") {
+    return std::make_unique<LockAdapter<TtasLock>>(name);
+  }
+  if (name == "ticket") {
+    return std::make_unique<LockAdapter<TicketLock>>(name);
+  }
+  if (name == "clh") {
+    return std::make_unique<LockAdapter<ClhLock>>(name);
+  }
+  if (name == "pthread-style") {
+    return std::make_unique<LockAdapter<PthreadStyleMutex>>(name);
+  }
+  if (name == "mcs-s") {
+    return std::make_unique<LockAdapter<McsSpinLock>>(name);
+  }
+  if (name == "mcs-stp") {
+    return std::make_unique<LockAdapter<McsStpLock>>(name);
+  }
+  if (name == "mcscr-s") {
+    return std::make_unique<LockAdapter<McscrSpinLock>>(name);
+  }
+  if (name == "mcscr-stp") {
+    return std::make_unique<LockAdapter<McscrStpLock>>(name);
+  }
+  if (name == "lifocr-s") {
+    return std::make_unique<LockAdapter<LifoCrSpinLock>>(name);
+  }
+  if (name == "lifocr-stp") {
+    return std::make_unique<LockAdapter<LifoCrStpLock>>(name);
+  }
+  if (name == "loiter") {
+    return std::make_unique<LockAdapter<LoiterLock>>(name);
+  }
+  if (name == "mcscrn-s") {
+    return std::make_unique<LockAdapter<McscrnSpinLock>>(name);
+  }
+  if (name == "mcscrn-stp") {
+    return std::make_unique<LockAdapter<McscrnStpLock>>(name);
+  }
+  return nullptr;
+}
+
+std::vector<std::string> AllLockNames() {
+  return {"null",    "std",     "tas",      "ticket",     "clh",
+          "pthread-style", "mcs-s",   "mcs-stp",  "mcscr-s",    "mcscr-stp",
+          "lifocr-s",      "lifocr-stp", "loiter", "mcscrn-s", "mcscrn-stp"};
+}
+
+std::vector<std::string> PaperComparisonLockNames() {
+  return {"mcs-s", "mcs-stp", "mcscr-s", "mcscr-stp"};
+}
+
+}  // namespace malthus

@@ -1,0 +1,54 @@
+#include "src/locks/clh.h"
+
+#include <cassert>
+
+namespace malthus {
+
+ClhLock::ClhLock() : slots_(kMaxThreads) {
+  // The lock starts with a dummy unlocked node as the tail, representing a
+  // phantom previous owner that has already released.
+  tail_.store(new Node(), std::memory_order_relaxed);
+}
+
+ClhLock::~ClhLock() {
+  delete tail_.load(std::memory_order_relaxed);
+  for (auto& slot : slots_) {
+    delete slot.load(std::memory_order_relaxed);
+  }
+}
+
+ClhLock::Node* ClhLock::MyNode(ThreadId tid) {
+  assert(tid < kMaxThreads && "ClhLock supports at most kMaxThreads distinct threads");
+  Node* node = slots_[tid].load(std::memory_order_relaxed);
+  if (node == nullptr) {
+    node = new Node();
+    slots_[tid].store(node, std::memory_order_relaxed);
+  }
+  return node;
+}
+
+void ClhLock::lock() {
+  ThreadCtx& self = Self();
+  Node* me = MyNode(self.id);
+  me->locked.store(true, std::memory_order_relaxed);
+  Node* pred = tail_.exchange(me, std::memory_order_acq_rel);
+  while (pred->locked.load(std::memory_order_acquire)) {
+    CpuRelax();
+  }
+  owner_node_ = me;
+  owner_pred_ = pred;
+  owner_tid_ = self.id;
+  if (recorder_ != nullptr) {
+    recorder_->Record(self.id);
+  }
+}
+
+void ClhLock::unlock() {
+  // Adopt the predecessor's node for this thread's next acquisition; our own
+  // node stays in the queue until our successor (if any) observes the
+  // release below and, in turn, adopts it.
+  slots_[owner_tid_].store(owner_pred_, std::memory_order_relaxed);
+  owner_node_->locked.store(false, std::memory_order_release);
+}
+
+}  // namespace malthus

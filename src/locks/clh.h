@@ -1,0 +1,57 @@
+// CLH queue lock (Craig; Landin & Hagersten), spin-waiting variant.
+//
+// Arriving threads enqueue implicitly by swapping the tail and spin on their
+// *predecessor's* node. Nodes migrate between threads (a releasing thread
+// adopts its predecessor's node for its next acquisition), so per-thread
+// node slots are kept inside the lock, indexed by dense thread id. Strict
+// FIFO, direct handoff, local spinning on a remote-allocated line.
+#ifndef MALTHUS_SRC_LOCKS_CLH_H_
+#define MALTHUS_SRC_LOCKS_CLH_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/metrics/admission_log.h"
+#include "src/platform/align.h"
+#include "src/platform/cpu.h"
+#include "src/platform/thread_registry.h"
+
+namespace malthus {
+
+class ClhLock {
+ public:
+  // Maximum distinct threads that may ever touch one ClhLock instance.
+  static constexpr std::size_t kMaxThreads = 1024;
+
+  ClhLock();
+  ~ClhLock();
+  ClhLock(const ClhLock&) = delete;
+  ClhLock& operator=(const ClhLock&) = delete;
+
+  void lock();
+  void unlock();
+
+  void set_recorder(AdmissionLog* recorder) { recorder_ = recorder; }
+
+ private:
+  struct alignas(kCacheLineSize) Node {
+    std::atomic<bool> locked{false};
+  };
+
+  Node* MyNode(ThreadId tid);
+
+  std::atomic<Node*> tail_;
+  // Current owner's enqueued node and adopted predecessor node; only the
+  // owner (or its granter, via the locked-flag release chain) touches these.
+  Node* owner_node_ = nullptr;
+  Node* owner_pred_ = nullptr;
+  ThreadId owner_tid_ = kInvalidThreadId;
+  std::vector<std::atomic<Node*>> slots_;
+  AdmissionLog* recorder_ = nullptr;
+};
+
+}  // namespace malthus
+
+#endif  // MALTHUS_SRC_LOCKS_CLH_H_

@@ -1,0 +1,73 @@
+// Shared infrastructure for queue-based locks: the queue node, a per-thread
+// node pool, and the grant protocol constants.
+//
+// Node lifecycle: a node is acquired from the calling thread's pool in
+// lock() and released back to the *same* thread's pool once the node is
+// quiescent (at unlock for MCS-family owners; at grant for LIFO-CR waiters).
+// A node is always released by the thread that acquired it, so the pool
+// needs no synchronization. Nodes are cache-line sized so waiters spinning
+// on their own node never share a line (local spinning, §5.4).
+#ifndef MALTHUS_SRC_LOCKS_LOCK_BASE_H_
+#define MALTHUS_SRC_LOCKS_LOCK_BASE_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/platform/align.h"
+#include "src/platform/park.h"
+#include "src/platform/thread_registry.h"
+
+namespace malthus {
+
+// Grant-flag values. kWaiting while enqueued; the granter stores kGranted
+// with release semantics after publishing any owner-handoff state.
+inline constexpr std::uint32_t kWaiting = 0;
+inline constexpr std::uint32_t kGranted = 1;
+
+struct alignas(kCacheLineSize) QNode {
+  // MCS chain / LIFO stack successor link.
+  std::atomic<QNode*> next{nullptr};
+  // Grant flag; the waiter local-spins (or spin-then-parks) on this.
+  std::atomic<std::uint32_t> status{kWaiting};
+  // Wake channel for parking policies.
+  Parker* parker = nullptr;
+  ThreadId tid = 0;
+  // NUMA node id, used only by MCSCRN.
+  std::uint32_t numa_node = 0;
+  // Passive/remote list links. Only ever touched while holding the lock that
+  // owns the list, so they are plain fields.
+  QNode* list_next = nullptr;
+  QNode* list_prev = nullptr;
+
+  // Re-initializes per-acquisition state. Pool identity fields are set once.
+  void PrepareForWait(ThreadCtx& self) {
+    next.store(nullptr, std::memory_order_relaxed);
+    status.store(kWaiting, std::memory_order_relaxed);
+    parker = &self.parker;
+    tid = self.id;
+    list_next = nullptr;
+    list_prev = nullptr;
+  }
+};
+
+// Pops a node from the calling thread's pool (allocating if empty).
+QNode* AcquireQNode();
+
+// Returns a node to the calling thread's pool. The node must be quiescent:
+// no other thread may still hold a reference that it will dereference.
+void ReleaseQNode(QNode* node);
+
+// Spins until `node->next` is non-null. Used on the unlock path when the
+// tail CAS fails: an arriving thread has swapped the tail but not yet linked
+// itself; the window is a few instructions.
+inline QNode* SpinForSuccessor(QNode* node) {
+  QNode* next = node->next.load(std::memory_order_acquire);
+  while (next == nullptr) {
+    next = node->next.load(std::memory_order_acquire);
+  }
+  return next;
+}
+
+}  // namespace malthus
+
+#endif  // MALTHUS_SRC_LOCKS_LOCK_BASE_H_

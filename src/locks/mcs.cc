@@ -1,0 +1,45 @@
+#include "src/locks/mcs.h"
+
+#include <vector>
+
+namespace malthus {
+namespace {
+
+// Thread-local node pool. Nodes are heap-allocated on demand and owned by
+// the pool; they are recycled across locks but never cross threads.
+struct NodePool {
+  std::vector<QNode*> free_list;
+
+  ~NodePool() {
+    for (QNode* n : free_list) {
+      delete n;
+    }
+  }
+};
+
+NodePool& Pool() {
+  thread_local NodePool pool;
+  return pool;
+}
+
+}  // namespace
+
+QNode* AcquireQNode() {
+  NodePool& pool = Pool();
+  if (!pool.free_list.empty()) {
+    QNode* n = pool.free_list.back();
+    pool.free_list.pop_back();
+    return n;
+  }
+  return new QNode();
+}
+
+void ReleaseQNode(QNode* node) { Pool().free_list.push_back(node); }
+
+// Instantiation anchors so template code is compiled (and its warnings
+// surfaced) as part of the library build.
+template class McsLock<SpinPolicy>;
+template class McsLock<SpinThenParkPolicy>;
+template class McsLock<ParkPolicy>;
+
+}  // namespace malthus

@@ -1,0 +1,100 @@
+// Classic MCS queue lock (Mellor-Crummey & Scott, 1991), templated on the
+// waiting policy: McsLock<SpinPolicy> is the paper's MCS-S, and
+// McsLock<SpinThenParkPolicy> is MCS-STP.
+//
+// Properties (Figure 2 of the paper): strict FIFO admission, succession by
+// direct handoff, local spinning (each waiter spins only on its own node),
+// no tuning parameters. FIFO + direct handoff interacts poorly with parking:
+// the next thread granted is the one that has waited longest and is thus the
+// most likely to have exhausted its spin budget and parked — which is
+// exactly the pathology MCSCR's mostly-LIFO admission avoids.
+#ifndef MALTHUS_SRC_LOCKS_MCS_H_
+#define MALTHUS_SRC_LOCKS_MCS_H_
+
+#include <atomic>
+
+#include "src/locks/lock_base.h"
+#include "src/metrics/admission_log.h"
+#include "src/waiting/policy.h"
+
+namespace malthus {
+
+template <typename WaitPolicy>
+class McsLock {
+ public:
+  McsLock() : spin_budget_(ResolveSpinBudget(kAutoSpinBudget)) {}
+  McsLock(const McsLock&) = delete;
+  McsLock& operator=(const McsLock&) = delete;
+
+  void lock() {
+    ThreadCtx& self = Self();
+    QNode* me = AcquireQNode();
+    me->PrepareForWait(self);
+    QNode* prev = tail_.exchange(me, std::memory_order_acq_rel);
+    if (prev != nullptr) {
+      prev->next.store(me, std::memory_order_release);
+      WaitPolicy::Await(me->status, kWaiting, self.parker, spin_budget_);
+    }
+    owner_ = me;
+    if (recorder_ != nullptr) {
+      recorder_->Record(self.id);
+    }
+  }
+
+  bool try_lock() {
+    ThreadCtx& self = Self();
+    QNode* me = AcquireQNode();
+    me->PrepareForWait(self);
+    QNode* expected = nullptr;
+    if (tail_.compare_exchange_strong(expected, me, std::memory_order_acq_rel,
+                                      std::memory_order_relaxed)) {
+      owner_ = me;
+      if (recorder_ != nullptr) {
+        recorder_->Record(self.id);
+      }
+      return true;
+    }
+    ReleaseQNode(me);
+    return false;
+  }
+
+  void unlock() {
+    QNode* me = owner_;
+    QNode* next = me->next.load(std::memory_order_acquire);
+    if (next == nullptr) {
+      QNode* expected = me;
+      if (tail_.compare_exchange_strong(expected, nullptr, std::memory_order_release,
+                                        std::memory_order_relaxed)) {
+        ReleaseQNode(me);
+        return;
+      }
+      next = SpinForSuccessor(me);
+    }
+    Grant(next);
+    ReleaseQNode(me);
+  }
+
+  void set_recorder(AdmissionLog* recorder) { recorder_ = recorder; }
+  void set_spin_budget(std::uint32_t budget) { spin_budget_ = budget; }
+
+ private:
+  void Grant(QNode* next) {
+    owner_ = next;  // Published by the release store below.
+    next->status.store(kGranted, std::memory_order_release);
+    WaitPolicy::Wake(*next->parker);
+  }
+
+  std::atomic<QNode*> tail_{nullptr};
+  // The owner's queue node. Written by the granter before the releasing
+  // store of the grant flag; read only by the owner at unlock.
+  QNode* owner_ = nullptr;
+  AdmissionLog* recorder_ = nullptr;
+  std::uint32_t spin_budget_;
+};
+
+using McsSpinLock = McsLock<SpinPolicy>;
+using McsStpLock = McsLock<SpinThenParkPolicy>;
+
+}  // namespace malthus
+
+#endif  // MALTHUS_SRC_LOCKS_MCS_H_

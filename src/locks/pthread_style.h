@@ -1,0 +1,86 @@
+// A Solaris-pthread-style mutex (paper §5.3 and footnote 40): a polite
+// test-and-test-and-set lock with a bounded spin phase, a bound on the
+// number of concurrent spinners, and a mostly-LIFO stack of parked waiters.
+//
+// Succession is competitive: unlock stores the lock free, then — only if the
+// lock is still free (defer-and-avoid, which both trims the voluntary
+// context-switch rate and keeps the ACS stable) — pops one waiter and
+// unparks it as heir presumptive. The woken thread re-contends; barging
+// arrivals may beat it, so admission is unfair with unbounded bypass.
+//
+// Correctness notes:
+//   * Pops are serialized by a tiny internal spinlock. With a single
+//     consumer, Treiber-stack pop is ABA-free (a node cannot be popped and
+//     re-pushed behind the popper's back). Pushes stay lock-free.
+//   * A waiter that self-acquires while its node is still on the stack CASes
+//     the node kOnStack→kAbandoned, transferring ownership (and the duty to
+//     free it) to whichever popper later removes it; poppers skip abandoned
+//     nodes so a wake is never wasted on a thread that is no longer waiting.
+//   * A popper reads node->parker *before* its kOnStack→kPopped CAS and
+//     never touches the node afterwards, so the waiter may reuse or free the
+//     node as soon as it observes kPopped.
+#ifndef MALTHUS_SRC_LOCKS_PTHREAD_STYLE_H_
+#define MALTHUS_SRC_LOCKS_PTHREAD_STYLE_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/metrics/admission_log.h"
+#include "src/platform/align.h"
+#include "src/platform/park.h"
+#include "src/platform/thread_registry.h"
+
+namespace malthus {
+
+class PthreadStyleMutex {
+ public:
+  PthreadStyleMutex() = default;
+  ~PthreadStyleMutex();
+  PthreadStyleMutex(const PthreadStyleMutex&) = delete;
+  PthreadStyleMutex& operator=(const PthreadStyleMutex&) = delete;
+
+  void lock();
+  bool try_lock();
+  void unlock();
+
+  void set_recorder(AdmissionLog* recorder) { recorder_ = recorder; }
+  void set_spin_budget(std::uint32_t budget) { spin_budget_ = budget; }
+  void set_max_spinners(std::uint32_t n) { max_spinners_ = n; }
+
+  // Instrumentation: wakes skipped because another thread took the lock
+  // during the defer window (unpark avoidance).
+  std::uint64_t avoided_unparks() const {
+    return avoided_unparks_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  enum WaitState : std::uint32_t { kOnStack = 0, kPopped = 1, kAbandoned = 2 };
+
+  struct alignas(kCacheLineSize) WaitNode {
+    std::atomic<std::uint32_t> state{kOnStack};
+    WaitNode* next = nullptr;
+    Parker* parker = nullptr;
+  };
+
+  bool TryAcquire() {
+    return word_.load(std::memory_order_relaxed) == 0 &&
+           word_.exchange(1, std::memory_order_acquire) == 0;
+  }
+
+  void Push(WaitNode* node);
+  WaitNode* PopSerialized();
+  void WakeOneWaiter();
+
+  alignas(kCacheLineSize) std::atomic<std::uint32_t> word_{0};
+  alignas(kCacheLineSize) std::atomic<WaitNode*> stack_{nullptr};
+  std::atomic<std::uint32_t> pop_lock_{0};
+  std::atomic<std::uint32_t> spinners_{0};
+  std::atomic<std::uint64_t> avoided_unparks_{0};
+  AdmissionLog* recorder_ = nullptr;
+  std::uint32_t spin_budget_ = 512;
+  std::uint32_t max_spinners_ = 8;
+};
+
+}  // namespace malthus
+
+#endif  // MALTHUS_SRC_LOCKS_PTHREAD_STYLE_H_

@@ -1,0 +1,5 @@
+#include "src/locks/tas.h"
+
+// TtasLock is fully inline; this file exists as a build anchor so the header
+// is compiled (and warned about) with the library.
+namespace malthus {}

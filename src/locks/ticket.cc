@@ -1,0 +1,4 @@
+#include "src/locks/ticket.h"
+
+// TicketLock is fully inline; build anchor only.
+namespace malthus {}

@@ -1,0 +1,63 @@
+// Ticket lock with proportional backoff.
+//
+// Strict FIFO via a fetch-and-add ticket dispenser; global spinning on the
+// now-serving counter. A waiter k positions from the head backs off for ~k
+// critical-section times between polls. Direct handoff in spirit (the next
+// ticket holder is fixed at arrival), so it shares MCS's vulnerability to
+// lock-waiter preemption; unlike MCS there is no explicit waiter list, which
+// is why ticket locks are hard to adapt to parking (§5.4).
+#ifndef MALTHUS_SRC_LOCKS_TICKET_H_
+#define MALTHUS_SRC_LOCKS_TICKET_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/metrics/admission_log.h"
+#include "src/platform/align.h"
+#include "src/platform/thread_registry.h"
+#include "src/waiting/backoff.h"
+
+namespace malthus {
+
+class TicketLock {
+ public:
+  TicketLock() = default;
+  TicketLock(const TicketLock&) = delete;
+  TicketLock& operator=(const TicketLock&) = delete;
+
+  void lock() {
+    const std::uint64_t my_ticket = next_.fetch_add(1, std::memory_order_relaxed);
+    while (true) {
+      const std::uint64_t serving = serving_.load(std::memory_order_acquire);
+      if (serving == my_ticket) {
+        break;
+      }
+      ProportionalBackoff(my_ticket - serving, backoff_unit_);
+    }
+    if (recorder_ != nullptr) {
+      recorder_->Record(Self().id);
+    }
+  }
+
+  bool try_lock() {
+    std::uint64_t serving = serving_.load(std::memory_order_relaxed);
+    std::uint64_t expected = serving;
+    // Acquire the lock only if no one is waiting: next_ == serving_.
+    return next_.compare_exchange_strong(expected, serving + 1, std::memory_order_acquire,
+                                         std::memory_order_relaxed);
+  }
+
+  void unlock() { serving_.fetch_add(1, std::memory_order_release); }
+
+  void set_recorder(AdmissionLog* recorder) { recorder_ = recorder; }
+
+ private:
+  alignas(kCacheLineSize) std::atomic<std::uint64_t> next_{0};
+  alignas(kCacheLineSize) std::atomic<std::uint64_t> serving_{0};
+  AdmissionLog* recorder_ = nullptr;
+  std::uint32_t backoff_unit_ = 32;
+};
+
+}  // namespace malthus
+
+#endif  // MALTHUS_SRC_LOCKS_TICKET_H_

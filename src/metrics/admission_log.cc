@@ -1,0 +1,73 @@
+#include "src/metrics/admission_log.h"
+
+#include <sstream>
+
+#include "src/metrics/fairness.h"
+
+namespace malthus {
+
+AdmissionLog::AdmissionLog(std::size_t capacity) {
+  history_.resize(capacity);
+  counts_.resize(256, 0);
+}
+
+void AdmissionLog::Record(std::uint32_t tid) {
+  const std::size_t len = length_.load(std::memory_order_relaxed);
+  if (len < history_.size()) {
+    history_[len] = tid;
+    length_.store(len + 1, std::memory_order_release);
+  }
+  if (tid >= counts_.size()) {
+    counts_.resize(static_cast<std::size_t>(tid) * 2 + 1, 0);
+  }
+  ++counts_[tid];
+  total_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void AdmissionLog::Reset() {
+  length_.store(0, std::memory_order_relaxed);
+  total_.store(0, std::memory_order_relaxed);
+  for (auto& c : counts_) {
+    c = 0;
+  }
+}
+
+std::vector<std::uint32_t> AdmissionLog::History() const {
+  const std::size_t len = length_.load(std::memory_order_acquire);
+  return std::vector<std::uint32_t>(history_.begin(),
+                                    history_.begin() + static_cast<std::ptrdiff_t>(len));
+}
+
+std::vector<double> AdmissionLog::CountsPerThread() const {
+  std::vector<double> out;
+  out.reserve(counts_.size());
+  for (const auto c : counts_) {
+    if (c > 0) {
+      out.push_back(static_cast<double>(c));
+    }
+  }
+  return out;
+}
+
+FairnessReport AdmissionLog::Report(std::size_t lwss_window) const {
+  FairnessReport r;
+  const auto history = History();
+  const auto counts = CountsPerThread();
+  r.average_lwss = AverageLwss(history, lwss_window);
+  r.mttr = MedianTimeToReacquire(history);
+  r.gini = GiniCoefficient(counts);
+  r.rstddev = RelativeStdDev(counts);
+  r.admissions = TotalAdmissions();
+  r.participants = static_cast<std::uint32_t>(counts.size());
+  return r;
+}
+
+std::string FairnessReport::ToString() const {
+  std::ostringstream os;
+  os << "admissions=" << admissions << " participants=" << participants
+     << " avgLWSS=" << average_lwss << " MTTR=" << mttr << " gini=" << gini
+     << " rstddev=" << rstddev;
+  return os.str();
+}
+
+}  // namespace malthus

@@ -1,0 +1,66 @@
+// Admission-history recorder.
+//
+// Lock algorithms call Record(tid) immediately after acquisition (i.e. while
+// holding the lock, so writes are naturally serialized — no synchronization
+// beyond a release publish of the length). The recorder keeps a bounded
+// history; when full it keeps recording statistics (per-thread counts) but
+// stops extending the ordered history.
+//
+// From the history we derive the paper's short-term fairness metrics
+// (average LWSS, MTTR) and from per-thread counts the long-term metrics
+// (Gini, RSTDDEV). See metrics/fairness.h.
+#ifndef MALTHUS_SRC_METRICS_ADMISSION_LOG_H_
+#define MALTHUS_SRC_METRICS_ADMISSION_LOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace malthus {
+
+struct FairnessReport {
+  double average_lwss = 0.0;
+  double mttr = 0.0;
+  double gini = 0.0;
+  double rstddev = 0.0;
+  std::uint64_t admissions = 0;
+  std::uint32_t participants = 0;
+
+  std::string ToString() const;
+};
+
+class AdmissionLog {
+ public:
+  // `capacity` bounds the ordered history (not the counters).
+  explicit AdmissionLog(std::size_t capacity = 1u << 20);
+
+  // Must be called while holding the lock being instrumented.
+  void Record(std::uint32_t tid);
+
+  // Clears history and counters. Not thread-safe against Record.
+  void Reset();
+
+  // Snapshot of the ordered history recorded so far.
+  std::vector<std::uint32_t> History() const;
+
+  // Per-thread acquisition counts (index = dense thread id).
+  std::vector<double> CountsPerThread() const;
+
+  std::uint64_t TotalAdmissions() const { return total_.load(std::memory_order_acquire); }
+
+  // Computes all paper metrics over the recorded history & counters.
+  FairnessReport Report(std::size_t lwss_window = 1000) const;
+
+ private:
+  std::vector<std::uint32_t> history_;
+  std::atomic<std::size_t> length_{0};  // valid prefix of history_
+  std::atomic<std::uint64_t> total_{0};
+  // Per-thread counts; grown under the lock, read racily by reporters after
+  // the run (benign: reporting happens after threads quiesce).
+  std::vector<std::uint64_t> counts_;
+};
+
+}  // namespace malthus
+
+#endif  // MALTHUS_SRC_METRICS_ADMISSION_LOG_H_

@@ -1,0 +1,102 @@
+#include "src/metrics/fairness.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace malthus {
+
+std::size_t WindowLwss(const std::vector<std::uint32_t>& admissions, std::size_t begin,
+                       std::size_t end) {
+  std::unordered_set<std::uint32_t> distinct;
+  for (std::size_t i = begin; i < end && i < admissions.size(); ++i) {
+    distinct.insert(admissions[i]);
+  }
+  return distinct.size();
+}
+
+double AverageLwss(const std::vector<std::uint32_t>& admissions, std::size_t window) {
+  if (admissions.empty() || window == 0) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  std::size_t windows = 0;
+  for (std::size_t begin = 0; begin < admissions.size(); begin += window) {
+    const std::size_t end = std::min(begin + window, admissions.size());
+    const std::size_t span = end - begin;
+    if (span < window / 2 && windows > 0) {
+      break;  // Drop a small trailing fragment; it would be noise.
+    }
+    sum += static_cast<double>(WindowLwss(admissions, begin, end));
+    ++windows;
+  }
+  return windows > 0 ? sum / static_cast<double>(windows) : 0.0;
+}
+
+double MedianTimeToReacquire(const std::vector<std::uint32_t>& admissions) {
+  std::unordered_map<std::uint32_t, std::size_t> last_seen;
+  std::vector<std::uint64_t> ttrs;
+  ttrs.reserve(admissions.size());
+  for (std::size_t i = 0; i < admissions.size(); ++i) {
+    const auto it = last_seen.find(admissions[i]);
+    if (it != last_seen.end()) {
+      ttrs.push_back(static_cast<std::uint64_t>(i - it->second));
+      it->second = i;
+    } else {
+      last_seen.emplace(admissions[i], i);
+    }
+  }
+  if (ttrs.empty()) {
+    return 0.0;
+  }
+  const std::size_t mid = ttrs.size() / 2;
+  std::nth_element(ttrs.begin(), ttrs.begin() + mid, ttrs.end());
+  double median = static_cast<double>(ttrs[mid]);
+  if (ttrs.size() % 2 == 0) {
+    std::nth_element(ttrs.begin(), ttrs.begin() + mid - 1, ttrs.begin() + mid);
+    median = (median + static_cast<double>(ttrs[mid - 1])) / 2.0;
+  }
+  return median;
+}
+
+double GiniCoefficient(const std::vector<double>& values) {
+  if (values.size() < 2) {
+    return 0.0;
+  }
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  const auto n = static_cast<double>(sorted.size());
+  double cum_weighted = 0.0;
+  double total = 0.0;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    cum_weighted += (static_cast<double>(i) + 1.0) * sorted[i];
+    total += sorted[i];
+  }
+  if (total <= 0.0) {
+    return 0.0;
+  }
+  return (2.0 * cum_weighted) / (n * total) - (n + 1.0) / n;
+}
+
+double RelativeStdDev(const std::vector<double>& values) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  double mean = 0.0;
+  for (const double v : values) {
+    mean += v;
+  }
+  mean /= static_cast<double>(values.size());
+  if (mean == 0.0) {
+    return 0.0;
+  }
+  double var = 0.0;
+  for (const double v : values) {
+    var += (v - mean) * (v - mean);
+  }
+  var /= static_cast<double>(values.size());
+  return std::sqrt(var) / mean;
+}
+
+}  // namespace malthus

@@ -1,0 +1,45 @@
+// Fairness metrics from the paper (§1, §6):
+//
+//   * LWSS — lock working set size: the number of distinct threads that
+//     acquired a lock in a window of the admission history. The *average
+//     LWSS* partitions the history into disjoint abutting W-sized windows
+//     (W = 1000 in the paper) and averages the per-window LWSS. Short-term
+//     fairness, in units of threads.
+//   * MTTR — median time to reacquire, measured in admissions: for every
+//     acquisition after a thread's first, the number of admissions since
+//     that thread last held the lock. Analogous to reuse distance.
+//   * Gini coefficient over per-thread acquisition (or work) counts —
+//     long-term fairness; 0 is perfectly fair, →1 maximally unfair.
+//   * RSTDDEV — relative standard deviation (coefficient of variation) of
+//     per-thread counts; the paper's second long-term metric.
+#ifndef MALTHUS_SRC_METRICS_FAIRNESS_H_
+#define MALTHUS_SRC_METRICS_FAIRNESS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace malthus {
+
+// Average LWSS over disjoint abutting windows of `window` admissions.
+// A trailing partial window is included (its LWSS weighted like the others)
+// only if it is at least half the window size; the paper's 10-second runs
+// make the tail negligible either way. Returns 0 for an empty history.
+double AverageLwss(const std::vector<std::uint32_t>& admissions, std::size_t window = 1000);
+
+// LWSS of a single [begin, end) slice of the admission history.
+std::size_t WindowLwss(const std::vector<std::uint32_t>& admissions, std::size_t begin,
+                       std::size_t end);
+
+// Median time-to-reacquire in admissions. Returns 0 if no thread reacquired.
+double MedianTimeToReacquire(const std::vector<std::uint32_t>& admissions);
+
+// Gini coefficient of a non-negative sample (per-thread counts).
+// 0 for perfect equality; (n-1)/n when one participant holds everything.
+double GiniCoefficient(const std::vector<double>& values);
+
+// Relative standard deviation (population stddev / mean). 0 if mean == 0.
+double RelativeStdDev(const std::vector<double>& values);
+
+}  // namespace malthus
+
+#endif  // MALTHUS_SRC_METRICS_FAIRNESS_H_

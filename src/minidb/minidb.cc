@@ -1,0 +1,11 @@
+#include "src/minidb/minidb.h"
+
+#include "src/core/mcscr.h"
+#include "src/locks/mcs.h"
+
+namespace malthus {
+
+template class MiniDb<McsSpinLock>;
+template class MiniDb<McscrStpLock>;
+
+}  // namespace malthus

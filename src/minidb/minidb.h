@@ -1,0 +1,96 @@
+// minidb — a small embedded key-value store standing in for leveldb 1.18 in
+// the Figure-8 readwhilewriting experiment (DESIGN.md §2).
+//
+// Architecture mirrors the contention structure the paper identifies:
+//   * a central database mutex guarding the skiplist memtable (leveldb's
+//     DBImpl::mutex_), taken by every write and by read-path block fills;
+//   * a block cache — SimpleLru over "blocks" of kBlockSpan adjacent keys —
+//     with its own single mutex (leveldb's LRUCache locks).
+// Both locks are highly contended under readwhilewriting and are the locks
+// the benchmark swaps between MCS and MCSCR variants.
+#ifndef MALTHUS_SRC_MINIDB_MINIDB_H_
+#define MALTHUS_SRC_MINIDB_MINIDB_H_
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "src/minidb/simple_lru.h"
+#include "src/minidb/skiplist.h"
+
+namespace malthus {
+
+template <typename Lock>
+class MiniDb {
+ public:
+  static constexpr std::uint64_t kBlockSpan = 16;  // keys per cached block
+
+  explicit MiniDb(std::size_t cache_blocks = 4096) : block_cache_(cache_blocks) {}
+  MiniDb(const MiniDb&) = delete;
+  MiniDb& operator=(const MiniDb&) = delete;
+
+  void Put(std::uint64_t key, std::string value) {
+    db_mutex_.lock();
+    memtable_.Put(key, std::move(value));
+    // Invalidate-by-overwrite: bump the block generation so stale cached
+    // fills for this block are detectable. (A full block invalidation is
+    // modelled by reinstalling on next fill.)
+    db_mutex_.unlock();
+    writes_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::optional<std::string> Get(std::uint64_t key) {
+    // Fast path: block cache hit means the key's block has been "read from
+    // disk" recently; we still fetch the authoritative value under the DB
+    // mutex only on a cache miss, as leveldb does for table blocks.
+    const std::uint64_t block = key / kBlockSpan;
+    if (block_cache_.Lookup(block).has_value()) {
+      db_mutex_.lock();
+      auto value = memtable_.Get(key);
+      db_mutex_.unlock();
+      reads_.fetch_add(1, std::memory_order_relaxed);
+      return value;
+    }
+    // Miss: fill the block under the DB mutex (models reading the table
+    // file), then install it in the cache.
+    db_mutex_.lock();
+    auto value = memtable_.Get(key);
+    db_mutex_.unlock();
+    block_cache_.Insert(block, 1);
+    reads_.fetch_add(1, std::memory_order_relaxed);
+    return value;
+  }
+
+  bool Delete(std::uint64_t key) {
+    db_mutex_.lock();
+    const bool existed = memtable_.Delete(key);
+    db_mutex_.unlock();
+    return existed;
+  }
+
+  std::size_t Size() {
+    db_mutex_.lock();
+    const std::size_t s = memtable_.Size();
+    db_mutex_.unlock();
+    return s;
+  }
+
+  std::uint64_t reads() const { return reads_.load(std::memory_order_relaxed); }
+  std::uint64_t writes() const { return writes_.load(std::memory_order_relaxed); }
+  double CacheMissRate() const { return block_cache_.MissRate(); }
+
+  Lock& db_mutex() { return db_mutex_; }
+  SimpleLru<Lock>& block_cache() { return block_cache_; }
+
+ private:
+  Lock db_mutex_;
+  SkipList memtable_;
+  SimpleLru<Lock> block_cache_;
+  std::atomic<std::uint64_t> reads_{0};
+  std::atomic<std::uint64_t> writes_{0};
+};
+
+}  // namespace malthus
+
+#endif  // MALTHUS_SRC_MINIDB_MINIDB_H_

@@ -1,0 +1,11 @@
+#include "src/minidb/simple_lru.h"
+
+#include "src/core/mcscr.h"
+#include "src/locks/mcs.h"
+
+namespace malthus {
+
+template class SimpleLru<McsSpinLock>;
+template class SimpleLru<McscrStpLock>;
+
+}  // namespace malthus

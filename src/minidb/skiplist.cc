@@ -1,0 +1,142 @@
+#include "src/minidb/skiplist.h"
+
+#include <cassert>
+
+namespace malthus {
+
+struct SkipList::Node {
+  std::uint64_t key;
+  std::string value;
+  int height;
+  std::array<Node*, kMaxHeight> next;  // only [0, height) are meaningful
+
+  Node(std::uint64_t k, std::string v, int h) : key(k), value(std::move(v)), height(h) {
+    next.fill(nullptr);
+  }
+};
+
+SkipList::SkipList(std::uint64_t seed) : rng_(seed) {
+  head_ = new Node(0, std::string(), kMaxHeight);
+}
+
+SkipList::~SkipList() {
+  Node* n = head_;
+  while (n != nullptr) {
+    Node* next = n->next[0];
+    delete n;
+    n = next;
+  }
+}
+
+int SkipList::RandomHeight() {
+  // Geometric with p = 1/4, as in leveldb.
+  int h = 1;
+  while (h < kMaxHeight && rng_.NextBelow(4) == 0) {
+    ++h;
+  }
+  return h;
+}
+
+SkipList::Node* SkipList::FindGreaterOrEqual(std::uint64_t key,
+                                             std::array<Node*, kMaxHeight>* prev) const {
+  Node* x = head_;
+  for (int level = height_ - 1; level >= 0; --level) {
+    while (x->next[level] != nullptr && x->next[level]->key < key) {
+      x = x->next[level];
+    }
+    if (prev != nullptr) {
+      (*prev)[level] = x;
+    }
+  }
+  return x->next[0];
+}
+
+void SkipList::Put(std::uint64_t key, std::string value) {
+  std::array<Node*, kMaxHeight> prev;
+  prev.fill(head_);
+  Node* hit = FindGreaterOrEqual(key, &prev);
+  if (hit != nullptr && hit->key == key) {
+    hit->value = std::move(value);
+    return;
+  }
+  const int h = RandomHeight();
+  if (h > height_) {
+    height_ = h;
+  }
+  Node* node = new Node(key, std::move(value), h);
+  for (int level = 0; level < h; ++level) {
+    node->next[level] = prev[level]->next[level];
+    prev[level]->next[level] = node;
+  }
+  ++size_;
+}
+
+std::optional<std::string> SkipList::Get(std::uint64_t key) const {
+  Node* n = FindGreaterOrEqual(key, nullptr);
+  if (n != nullptr && n->key == key) {
+    return n->value;
+  }
+  return std::nullopt;
+}
+
+bool SkipList::Delete(std::uint64_t key) {
+  std::array<Node*, kMaxHeight> prev;
+  prev.fill(head_);
+  Node* n = FindGreaterOrEqual(key, &prev);
+  if (n == nullptr || n->key != key) {
+    return false;
+  }
+  for (int level = 0; level < n->height; ++level) {
+    if (prev[level]->next[level] == n) {
+      prev[level]->next[level] = n->next[level];
+    }
+  }
+  delete n;
+  --size_;
+  return true;
+}
+
+std::optional<std::uint64_t> SkipList::LowerBoundKey(std::uint64_t key) const {
+  Node* n = FindGreaterOrEqual(key, nullptr);
+  if (n == nullptr) {
+    return std::nullopt;
+  }
+  return n->key;
+}
+
+bool SkipList::CheckInvariants() const {
+  // Level-0 strictly ascending.
+  const Node* n = head_->next[0];
+  std::size_t count = 0;
+  std::uint64_t last = 0;
+  bool first = true;
+  while (n != nullptr) {
+    if (!first && n->key <= last) {
+      return false;
+    }
+    last = n->key;
+    first = false;
+    ++count;
+    n = n->next[0];
+  }
+  if (count != size_) {
+    return false;
+  }
+  // Every higher level must be a subsequence of level 0.
+  for (int level = 1; level < height_; ++level) {
+    const Node* upper = head_->next[level];
+    const Node* lower = head_->next[0];
+    while (upper != nullptr) {
+      while (lower != nullptr && lower != upper) {
+        lower = lower->next[0];
+      }
+      if (lower == nullptr) {
+        return false;
+      }
+      upper = upper->next[level];
+    }
+  }
+  return true;
+}
+
+}  // namespace malthus

@@ -1,0 +1,66 @@
+#include "src/model/throughput_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace malthus {
+
+int ThroughputModel::Saturation() const {
+  return static_cast<int>(std::ceil((params_.cs_ns + params_.ncs_ns) / params_.cs_ns));
+}
+
+double ThroughputModel::EffectiveCsNs(int circulating) const {
+  const double footprint =
+      static_cast<double>(circulating) * params_.ncs_footprint_bytes + params_.cs_footprint_bytes;
+  if (footprint <= params_.llc_bytes) {
+    return params_.cs_ns;
+  }
+  // Pressure grows linearly from 0 at capacity to 1 at 2x capacity, then
+  // clamps: once the working set dwarfs the cache, every CS access misses
+  // and the inflation cannot get any worse.
+  const double pressure =
+      std::min(1.0, (footprint - params_.llc_bytes) / params_.llc_bytes);
+  return params_.cs_ns * (1.0 + (params_.max_cs_inflation - 1.0) * pressure);
+}
+
+double ThroughputModel::ThroughputForCirculatingSet(int threads, int circulating) const {
+  const double cs_eff = EffectiveCsNs(circulating);
+  const double per_thread_rate = 1e9 / (cs_eff + params_.ncs_ns);  // unsaturated
+  const double lock_bound_rate = 1e9 / cs_eff;                     // saturated
+  return std::min(static_cast<double>(threads) * per_thread_rate, lock_bound_rate);
+}
+
+double ThroughputModel::ThroughputWithoutCr(int threads) const {
+  return ThroughputForCirculatingSet(threads, threads);
+}
+
+double ThroughputModel::ThroughputWithCr(int threads) const {
+  // CR clamps the circulating set to saturation. Below saturation CR does
+  // not engage (no surplus to cull) and the curves coincide.
+  const int circulating = std::min(threads, Saturation());
+  return ThroughputForCirculatingSet(threads, circulating);
+}
+
+int ThroughputModel::PeakThreads(int max_threads) const {
+  int best_n = 1;
+  double best = 0.0;
+  for (int n = 1; n <= max_threads; ++n) {
+    const double t = ThroughputWithoutCr(n);
+    if (t > best) {
+      best = t;
+      best_n = n;
+    }
+  }
+  return best_n;
+}
+
+std::vector<ThroughputModel::CurvePoint> ThroughputModel::Curve(int max_threads) const {
+  std::vector<CurvePoint> curve;
+  curve.reserve(static_cast<std::size_t>(max_threads));
+  for (int n = 1; n <= max_threads; ++n) {
+    curve.push_back({n, ThroughputWithoutCr(n), ThroughputWithCr(n)});
+  }
+  return curve;
+}
+
+}  // namespace malthus

@@ -1,0 +1,67 @@
+// Analytic throughput model reproducing Figure 1 ("Impact of Concurrency
+// Restriction") and the paper's saturation/peak vocabulary (§2).
+//
+// Closed-system model: N threads loop CS -> NCS over one lock.
+//   saturation = smallest N such that the lock is continuously held
+//              = ceil((CS + NCS) / CS)
+//   throughput(N) = min(N / (CS_eff + NCS), 1 / CS_eff)
+// where CS_eff inflates with LLC pressure: the circulating set's combined
+// footprint beyond the cache capacity stretches the critical section
+// (destructive interference of NCS instances on CS data, §3). Without CR
+// the circulating set is all N threads; with CR it is clamped to
+// saturation, so CS_eff stops growing — the Figure-1 plateau.
+//
+// Time unit: nanoseconds; throughput in iterations/second.
+#ifndef MALTHUS_SRC_MODEL_THROUGHPUT_MODEL_H_
+#define MALTHUS_SRC_MODEL_THROUGHPUT_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace malthus {
+
+struct ModelParams {
+  double cs_ns = 1000.0;   // paper's example: CS = 1 us
+  double ncs_ns = 5000.0;  // NCS = 5 us
+  double llc_bytes = 8.0 * (1u << 20);
+  double ncs_footprint_bytes = 1.0 * (1u << 20);  // per-thread private data
+  double cs_footprint_bytes = 1.0 * (1u << 20);   // shared CS data
+  // CS duration multiplier at (and beyond) total footprint = 2x capacity.
+  double max_cs_inflation = 4.0;
+};
+
+class ThroughputModel {
+ public:
+  explicit ThroughputModel(const ModelParams& params) : params_(params) {}
+
+  // Minimum thread count at which the lock is saturated (continuously held),
+  // ignoring cache pressure.
+  int Saturation() const;
+
+  // Effective CS duration when `circulating` threads' footprints compete
+  // for the LLC.
+  double EffectiveCsNs(int circulating) const;
+
+  double ThroughputWithoutCr(int threads) const;
+  double ThroughputWithCr(int threads) const;
+
+  // argmax over 1..max_threads of ThroughputWithoutCr — the paper's "peak".
+  int PeakThreads(int max_threads) const;
+
+  // Convenience: both curves over 1..max_threads (index 0 = 1 thread).
+  struct CurvePoint {
+    int threads;
+    double without_cr;
+    double with_cr;
+  };
+  std::vector<CurvePoint> Curve(int max_threads) const;
+
+ private:
+  double ThroughputForCirculatingSet(int threads, int circulating) const;
+
+  ModelParams params_;
+};
+
+}  // namespace malthus
+
+#endif  // MALTHUS_SRC_MODEL_THROUGHPUT_MODEL_H_

@@ -1,0 +1,32 @@
+// Cache-line alignment utilities.
+//
+// Lock metadata and per-thread counters are padded to a cache line (or a
+// pair of lines, to defeat adjacent-line prefetchers) so that unrelated
+// writers do not induce coherence traffic on each other's data.
+#ifndef MALTHUS_SRC_PLATFORM_ALIGN_H_
+#define MALTHUS_SRC_PLATFORM_ALIGN_H_
+
+#include <cstddef>
+#include <new>
+
+namespace malthus {
+
+// Size of a destructive-interference-free region. We deliberately use 128
+// (two 64-byte lines) because adjacent-line hardware prefetchers pair lines.
+inline constexpr std::size_t kCacheLineSize = 128;
+
+// Wraps T in a cache-line-sized, cache-line-aligned box. Useful for arrays
+// of per-thread counters where neighbours must not false-share.
+template <typename T>
+struct alignas(kCacheLineSize) CacheAligned {
+  T value{};
+
+  T* operator->() { return &value; }
+  const T* operator->() const { return &value; }
+  T& operator*() { return value; }
+  const T& operator*() const { return value; }
+};
+
+}  // namespace malthus
+
+#endif  // MALTHUS_SRC_PLATFORM_ALIGN_H_

@@ -1,0 +1,77 @@
+#include "src/platform/calibrate.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+#include "src/platform/cpu.h"
+#include "src/platform/park.h"
+
+namespace malthus {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MeasureSpinIterationNs() {
+  constexpr int kIters = 200000;
+  const auto begin = Clock::now();
+  for (int i = 0; i < kIters; ++i) {
+    CpuRelax();
+  }
+  const auto end = Clock::now();
+  const double total_ns =
+      static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(end - begin).count());
+  return std::max(0.5, total_ns / kIters);
+}
+
+double MeasureParkRoundTripNs() {
+  constexpr int kRounds = 2000;
+  Parker ping;
+  Parker pong;
+  std::thread partner([&] {
+    for (int i = 0; i < kRounds; ++i) {
+      ping.Park();
+      pong.Unpark();
+    }
+  });
+  const auto begin = Clock::now();
+  for (int i = 0; i < kRounds; ++i) {
+    ping.Unpark();
+    pong.Park();
+  }
+  const auto end = Clock::now();
+  partner.join();
+  const double total_ns =
+      static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(end - begin).count());
+  return total_ns / kRounds;
+}
+
+std::uint32_t Calibrate() {
+  if (const char* env = std::getenv("MALTHUS_SPIN_BUDGET"); env != nullptr) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) {
+      return static_cast<std::uint32_t>(v);
+    }
+  }
+  const double spin_ns = MeasureSpinIterationNs();
+  const double round_trip_ns = MeasureParkRoundTripNs();
+  // The ping-pong measures the best case (both threads hot, CPUs busy); an
+  // in-situ wake of a passivated thread pays cold caches and idle-CPU
+  // dispatch on top, so the budget covers a multiple of the best-case round
+  // trip. The floor keeps the near-term MCSCR waiter spinning across a
+  // cull->deficit oscillation even when the ping-pong measures
+  // unrealistically fast.
+  constexpr double kSafetyFactor = 32.0;
+  const double budget = kSafetyFactor * round_trip_ns / spin_ns;
+  return static_cast<std::uint32_t>(std::clamp(budget, 20000.0, 1000000.0));
+}
+
+}  // namespace
+
+std::uint32_t CalibratedSpinBudget() {
+  static const std::uint32_t budget = Calibrate();
+  return budget;
+}
+
+}  // namespace malthus

@@ -1,0 +1,27 @@
+// Spin-budget calibration.
+//
+// The paper sets the spin-then-park budget to "approximately 20000 cycles,
+// an empirically derived estimate of the average round-trip context switch
+// time" (§5.1); Karlin/Lim show spinning for one context-switch round trip
+// before parking is 2-competitive. The right value is host-dependent (a
+// sandboxed kernel's futex round trip can be 10x a bare-metal one), so it
+// is measured once per process: the cost of one polite spin iteration and
+// the latency of a park/unpark ping-pong between two threads, giving
+//
+//   budget = round_trip_ns / spin_iteration_ns
+//
+// clamped to a sane range. MALTHUS_SPIN_BUDGET overrides the measurement.
+#ifndef MALTHUS_SRC_PLATFORM_CALIBRATE_H_
+#define MALTHUS_SRC_PLATFORM_CALIBRATE_H_
+
+#include <cstdint>
+
+namespace malthus {
+
+// Spin iterations covering one park/unpark round trip. Measured on first
+// call (a few ms), cached thereafter. Thread-safe.
+std::uint32_t CalibratedSpinBudget();
+
+}  // namespace malthus
+
+#endif  // MALTHUS_SRC_PLATFORM_CALIBRATE_H_

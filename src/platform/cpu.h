@@ -1,0 +1,46 @@
+// CPU-level primitives: polite spin-pause and cycle counters.
+//
+// The paper uses SPARC's `RD CCR,G0` long-latency no-op for polite spinning;
+// the x86 equivalent is PAUSE, which transiently cedes pipeline resources to
+// the sibling hyperthread and reduces the mispredict penalty on loop exit.
+#ifndef MALTHUS_SRC_PLATFORM_CPU_H_
+#define MALTHUS_SRC_PLATFORM_CPU_H_
+
+#include <cstdint>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace malthus {
+
+// One polite spin step. Maps to PAUSE on x86, ISB/yield on ARM, a plain
+// compiler barrier elsewhere.
+inline void CpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+  _mm_pause();
+#elif defined(__aarch64__)
+  asm volatile("isb" ::: "memory");
+#else
+  asm volatile("" ::: "memory");
+#endif
+}
+
+// Approximate cycle counter. Used only for spin-budget accounting where
+// small inaccuracies are fine (the paper's spin budget is itself an
+// empirical estimate of a context-switch round trip).
+inline std::uint64_t ReadCycles() {
+#if defined(__x86_64__)
+  return __rdtsc();
+#elif defined(__aarch64__)
+  std::uint64_t v;
+  asm volatile("mrs %0, cntvct_el0" : "=r"(v));
+  return v;
+#else
+  return 0;
+#endif
+}
+
+}  // namespace malthus
+
+#endif  // MALTHUS_SRC_PLATFORM_CPU_H_

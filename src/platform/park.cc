@@ -1,0 +1,82 @@
+#include "src/platform/park.h"
+
+#include <linux/futex.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <ctime>
+
+namespace malthus {
+namespace {
+
+long FutexWait(std::atomic<std::int32_t>* addr, std::int32_t expected,
+               const struct timespec* timeout) {
+  return syscall(SYS_futex, reinterpret_cast<std::int32_t*>(addr), FUTEX_WAIT_PRIVATE, expected,
+                 timeout, nullptr, 0);
+}
+
+long FutexWake(std::atomic<std::int32_t>* addr, int count) {
+  return syscall(SYS_futex, reinterpret_cast<std::int32_t*>(addr), FUTEX_WAKE_PRIVATE, count,
+                 nullptr, nullptr, 0);
+}
+
+std::atomic<std::uint64_t> g_total_kernel_parks{0};
+
+}  // namespace
+
+std::uint64_t TotalKernelParks() {
+  return g_total_kernel_parks.load(std::memory_order_relaxed);
+}
+
+void Parker::Park() {
+  // Fast path: consume a pending permit without entering the kernel.
+  if (state_.exchange(kNeutral, std::memory_order_acquire) == kPermit) {
+    fast_path_parks_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  kernel_waits_.fetch_add(1, std::memory_order_relaxed);
+  g_total_kernel_parks.fetch_add(1, std::memory_order_relaxed);
+  while (true) {
+    FutexWait(&state_, kNeutral, nullptr);
+    if (state_.exchange(kNeutral, std::memory_order_acquire) == kPermit) {
+      return;
+    }
+    // Spurious futex return (EINTR, stale wake): loop and wait again.
+  }
+}
+
+bool Parker::ParkFor(std::chrono::nanoseconds timeout) {
+  if (state_.exchange(kNeutral, std::memory_order_acquire) == kPermit) {
+    fast_path_parks_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  kernel_waits_.fetch_add(1, std::memory_order_relaxed);
+  g_total_kernel_parks.fetch_add(1, std::memory_order_relaxed);
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (true) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) {
+      // One final permit check so a permit posted just before the deadline is
+      // not stranded until the next Park().
+      return state_.exchange(kNeutral, std::memory_order_acquire) == kPermit;
+    }
+    const auto remaining = deadline - now;
+    struct timespec ts;
+    ts.tv_sec = std::chrono::duration_cast<std::chrono::seconds>(remaining).count();
+    ts.tv_nsec = (remaining - std::chrono::seconds(ts.tv_sec)).count();
+    FutexWait(&state_, kNeutral, &ts);
+    if (state_.exchange(kNeutral, std::memory_order_acquire) == kPermit) {
+      return true;
+    }
+  }
+}
+
+void Parker::Unpark() {
+  // Posting over an existing permit is a no-op (restricted-range semaphore).
+  if (state_.exchange(kPermit, std::memory_order_release) == kNeutral) {
+    FutexWake(&state_, 1);
+  }
+}
+
+}  // namespace malthus

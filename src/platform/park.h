@@ -1,0 +1,81 @@
+// Park/unpark: voluntary descheduling with permit semantics.
+//
+// This reproduces the Solaris lwp_park/lwp_unpark facility the paper builds
+// on (§5.1 "Parking"), implemented over Linux futexes. The construct is a
+// restricted-range semaphore taking only the values 0 (neutral) and 1
+// (unpark pending):
+//
+//   * Park() blocks the caller until a permit is available, then consumes it.
+//     If an Unpark() arrived first, Park() consumes the pending permit and
+//     returns immediately without entering the kernel.
+//   * Unpark() posts a permit and wakes the owner if it is blocked. Unparking
+//     a thread that is spinning (not yet blocked in the kernel) is a single
+//     atomic exchange — no syscall — which is exactly the property that makes
+//     spin-then-park profitable.
+//   * ParkFor() is the timed variant used by LOITER's standby thread.
+//
+// Redundant Unpark() calls collapse into one pending permit. Callers must
+// re-check their wait condition after Park() returns (the paper's litmus
+// test: a no-op Park/Unpark must only degrade the algorithm to spinning,
+// never break it).
+//
+// TotalKernelParks() counts, process-wide, the Park()/ParkFor() calls that
+// actually blocked in the kernel. Each such call is one voluntary context
+// switch; the Figure-4 benches report this (getrusage's ru_nvcsw is not
+// populated in some sandboxed kernels, and this counter is precisely the
+// lock-induced subset the paper's column measures).
+#ifndef MALTHUS_SRC_PLATFORM_PARK_H_
+#define MALTHUS_SRC_PLATFORM_PARK_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#include "src/platform/align.h"
+
+namespace malthus {
+
+class Parker {
+ public:
+  Parker() = default;
+  Parker(const Parker&) = delete;
+  Parker& operator=(const Parker&) = delete;
+
+  // Blocks until a permit is available, consuming it. May enter the kernel.
+  void Park();
+
+  // Blocks for at most `timeout`. Returns true if a permit was consumed,
+  // false on timeout. A permit posted after a timeout stays pending.
+  bool ParkFor(std::chrono::nanoseconds timeout);
+
+  // Posts a permit and wakes the owner if it is blocked in the kernel.
+  void Unpark();
+
+  // True if a permit is pending (posted but not yet consumed). Racy by
+  // nature; intended for stats and tests.
+  bool PermitPending() const { return state_.load(std::memory_order_acquire) == kPermit; }
+
+  // Counters for instrumentation: how many Park() calls actually blocked in
+  // the kernel vs. consumed a pending permit on the fast path.
+  std::uint64_t kernel_waits() const { return kernel_waits_.load(std::memory_order_relaxed); }
+  std::uint64_t fast_path_parks() const {
+    return fast_path_parks_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr std::int32_t kNeutral = 0;
+  static constexpr std::int32_t kPermit = 1;
+
+  // Futex word. int32_t as required by the futex ABI.
+  std::atomic<std::int32_t> state_{kNeutral};
+  std::atomic<std::uint64_t> kernel_waits_{0};
+  std::atomic<std::uint64_t> fast_path_parks_{0};
+};
+
+// Process-wide count of parks that entered the kernel (voluntary context
+// switches induced by waiting).
+std::uint64_t TotalKernelParks();
+
+}  // namespace malthus
+
+#endif  // MALTHUS_SRC_PLATFORM_PARK_H_

@@ -1,0 +1,38 @@
+#include "src/platform/rusage.h"
+
+#include <sys/resource.h>
+#include <sys/time.h>
+
+namespace malthus {
+namespace {
+
+double TimevalToSeconds(const struct timeval& tv) {
+  return static_cast<double>(tv.tv_sec) + static_cast<double>(tv.tv_usec) * 1e-6;
+}
+
+}  // namespace
+
+double UsageDelta::ModelWattsAboveIdle() const {
+  return CpuUtilization() * kWattsPerActiveCpu;
+}
+
+UsageSnapshot CaptureUsage() {
+  struct rusage ru;
+  getrusage(RUSAGE_SELF, &ru);
+  UsageSnapshot snap;
+  snap.voluntary_ctx_switches = static_cast<std::uint64_t>(ru.ru_nvcsw);
+  snap.involuntary_ctx_switches = static_cast<std::uint64_t>(ru.ru_nivcsw);
+  snap.cpu_seconds = TimevalToSeconds(ru.ru_utime) + TimevalToSeconds(ru.ru_stime);
+  return snap;
+}
+
+UsageDelta DiffUsage(const UsageSnapshot& begin, const UsageSnapshot& end, double wall_seconds) {
+  UsageDelta d;
+  d.voluntary_ctx_switches = end.voluntary_ctx_switches - begin.voluntary_ctx_switches;
+  d.involuntary_ctx_switches = end.involuntary_ctx_switches - begin.involuntary_ctx_switches;
+  d.cpu_seconds = end.cpu_seconds - begin.cpu_seconds;
+  d.wall_seconds = wall_seconds;
+  return d;
+}
+
+}  // namespace malthus

@@ -1,0 +1,46 @@
+// Resource-usage snapshots for the Figure-4-style in-depth measurements:
+// voluntary/involuntary context switches, user+system CPU time, and the
+// derived CPU-utilization multiple and energy proxy.
+//
+// The paper measured watts-above-idle with Solaris's ldmpower; we substitute
+// a simple linear energy model driven by active CPU-seconds (see DESIGN.md
+// §2), since CR's energy effect in the paper is mediated by how many CPUs
+// are kept busy.
+#ifndef MALTHUS_SRC_PLATFORM_RUSAGE_H_
+#define MALTHUS_SRC_PLATFORM_RUSAGE_H_
+
+#include <cstdint>
+
+namespace malthus {
+
+struct UsageSnapshot {
+  std::uint64_t voluntary_ctx_switches = 0;
+  std::uint64_t involuntary_ctx_switches = 0;
+  double cpu_seconds = 0.0;  // user + system, all threads of the process
+};
+
+struct UsageDelta {
+  std::uint64_t voluntary_ctx_switches = 0;
+  std::uint64_t involuntary_ctx_switches = 0;
+  double cpu_seconds = 0.0;
+  double wall_seconds = 0.0;
+
+  // CPU utilization expressed as a multiple of one CPU, e.g. 5.2x.
+  double CpuUtilization() const { return wall_seconds > 0 ? cpu_seconds / wall_seconds : 0.0; }
+
+  // Model watts above idle: each fully busy CPU is charged
+  // kWattsPerActiveCpu. A proxy, not a measurement (DESIGN.md §2).
+  double ModelWattsAboveIdle() const;
+};
+
+inline constexpr double kWattsPerActiveCpu = 3.5;
+
+// Snapshot of RUSAGE_SELF.
+UsageSnapshot CaptureUsage();
+
+// Delta between two snapshots plus the elapsed wall time.
+UsageDelta DiffUsage(const UsageSnapshot& begin, const UsageSnapshot& end, double wall_seconds);
+
+}  // namespace malthus
+
+#endif  // MALTHUS_SRC_PLATFORM_RUSAGE_H_

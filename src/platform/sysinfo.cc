@@ -1,0 +1,58 @@
+#include "src/platform/sysinfo.h"
+
+#include <sched.h>
+#include <unistd.h>
+
+#include <fstream>
+#include <string>
+
+namespace malthus {
+
+int LogicalCpuCount() {
+  cpu_set_t set;
+  if (sched_getaffinity(0, sizeof(set), &set) == 0) {
+    const int n = CPU_COUNT(&set);
+    if (n > 0) {
+      return n;
+    }
+  }
+  const long n = sysconf(_SC_NPROCESSORS_ONLN);
+  return n > 0 ? static_cast<int>(n) : 1;
+}
+
+std::size_t LastLevelCacheBytes() {
+  // Scan cpu0's cache indices; take the largest unified/data cache.
+  std::size_t best = 0;
+  for (int index = 0; index < 8; ++index) {
+    const std::string base = "/sys/devices/system/cpu/cpu0/cache/index" + std::to_string(index);
+    std::ifstream size_file(base + "/size");
+    if (!size_file) {
+      break;
+    }
+    std::string size_str;
+    size_file >> size_str;
+    if (size_str.empty()) {
+      continue;
+    }
+    std::size_t multiplier = 1;
+    const char suffix = size_str.back();
+    if (suffix == 'K' || suffix == 'k') {
+      multiplier = 1024;
+      size_str.pop_back();
+    } else if (suffix == 'M' || suffix == 'm') {
+      multiplier = 1024 * 1024;
+      size_str.pop_back();
+    }
+    try {
+      const std::size_t bytes = std::stoull(size_str) * multiplier;
+      best = bytes > best ? bytes : best;
+    } catch (...) {
+      // Malformed sysfs entry; ignore.
+    }
+  }
+  return best > 0 ? best : (8u << 20);  // Paper's T5 LLC as fallback.
+}
+
+int CurrentCpu() { return sched_getcpu(); }
+
+}  // namespace malthus

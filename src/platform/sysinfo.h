@@ -1,0 +1,26 @@
+// Host introspection: logical CPU count and last-level-cache capacity.
+//
+// The paper sizes workload footprints relative to the 8 MB SPARC T5 LLC; we
+// size them relative to the host LLC so the thrashing onset lands at a
+// comparable thread count. When sysfs is unavailable (containers), we fall
+// back to the paper's 8 MB.
+#ifndef MALTHUS_SRC_PLATFORM_SYSINFO_H_
+#define MALTHUS_SRC_PLATFORM_SYSINFO_H_
+
+#include <cstddef>
+
+namespace malthus {
+
+// Number of logical CPUs available to this process.
+int LogicalCpuCount();
+
+// Best-effort size of the last-level cache in bytes (shared L3 if present,
+// else largest cache found). Falls back to 8 MB.
+std::size_t LastLevelCacheBytes();
+
+// The logical CPU the calling thread is currently running on, or -1.
+int CurrentCpu();
+
+}  // namespace malthus
+
+#endif  // MALTHUS_SRC_PLATFORM_SYSINFO_H_

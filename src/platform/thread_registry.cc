@@ -1,0 +1,24 @@
+#include "src/platform/thread_registry.h"
+
+namespace malthus {
+namespace {
+
+std::atomic<ThreadId> g_next_id{0};
+
+}  // namespace
+
+ThreadCtx& Self() {
+  // ThreadCtx owns a Parker and is neither copyable nor movable, so the id
+  // is assigned by a one-shot initializer rather than a factory return.
+  thread_local ThreadCtx ctx;
+  thread_local bool initialized = [] {
+    ctx.id = g_next_id.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }();
+  (void)initialized;
+  return ctx;
+}
+
+ThreadId RegisteredThreadCount() { return g_next_id.load(std::memory_order_relaxed); }
+
+}  // namespace malthus

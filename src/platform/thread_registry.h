@@ -1,0 +1,40 @@
+// Dense thread identities and per-thread parking context.
+//
+// Lock algorithms and the metrics layer need (a) a small dense integer id
+// per participating thread — admission histories store these — and (b) the
+// thread's Parker so that an unlocking thread can wake a waiter. Both are
+// provided by a process-wide registry with thread_local caching; ids are
+// assigned on first use and never reused (threads in these workloads live
+// for the whole measurement interval).
+#ifndef MALTHUS_SRC_PLATFORM_THREAD_REGISTRY_H_
+#define MALTHUS_SRC_PLATFORM_THREAD_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/platform/park.h"
+
+namespace malthus {
+
+using ThreadId = std::uint32_t;
+
+inline constexpr ThreadId kInvalidThreadId = UINT32_MAX;
+
+// Per-thread context handed around by lock algorithms. Obtained via Self().
+struct ThreadCtx {
+  ThreadId id = kInvalidThreadId;
+  Parker parker;
+  // Simulated NUMA node for MCSCRN experiments; kInvalidNode means "use the
+  // topology provider" (see core/topology.h).
+  std::uint32_t forced_node = UINT32_MAX;
+};
+
+// Returns the calling thread's context, registering the thread on first use.
+ThreadCtx& Self();
+
+// Number of thread ids handed out so far (upper bound on participants).
+ThreadId RegisteredThreadCount();
+
+}  // namespace malthus
+
+#endif  // MALTHUS_SRC_PLATFORM_THREAD_REGISTRY_H_

@@ -1,0 +1,12 @@
+#include "src/rng/xorshift.h"
+
+#include "src/platform/thread_registry.h"
+
+namespace malthus {
+
+XorShift64& ThreadLocalRng() {
+  thread_local XorShift64 rng(0xC0FFEEull + 0x9E3779B9ull * (Self().id + 1));
+  return rng;
+}
+
+}  // namespace malthus

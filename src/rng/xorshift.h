@@ -1,0 +1,84 @@
+// Marsaglia xorshift PRNG — the generator the paper uses for Bernoulli
+// fairness trials (§4) and for benchmark index streams (§6.1). Thread-local
+// by construction: each instance is owned by one thread.
+//
+// Also provides splitmix64 for seeding and a small Bernoulli helper used by
+// the CR admission policies ("statistically, we cede ownership to the tail
+// of the PS on average once every 1000 unlock operations").
+#ifndef MALTHUS_SRC_RNG_XORSHIFT_H_
+#define MALTHUS_SRC_RNG_XORSHIFT_H_
+
+#include <cstdint>
+
+namespace malthus {
+
+// splitmix64: used to expand a small seed into well-mixed 64-bit state.
+inline std::uint64_t SplitMix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+// Marsaglia xorshift64. Period 2^64 - 1; state must be nonzero.
+class XorShift64 {
+ public:
+  explicit XorShift64(std::uint64_t seed = 0x9E3779B97F4A7C15ull) { Seed(seed); }
+
+  void Seed(std::uint64_t seed) {
+    std::uint64_t s = seed;
+    state_ = SplitMix64(s);
+    if (state_ == 0) {
+      state_ = 0x2545F4914F6CDD1Dull;
+    }
+  }
+
+  std::uint64_t Next() {
+    std::uint64_t x = state_;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    state_ = x;
+    return x;
+  }
+
+  // Uniform in [0, bound). bound must be nonzero. Modulo bias is negligible
+  // for the bounds used here (<< 2^64) and matches the paper's usage.
+  std::uint64_t NextBelow(std::uint64_t bound) { return Next() % bound; }
+
+  // One Bernoulli trial that succeeds on average once per `inverse_p` calls.
+  // inverse_p == 0 means "never"; inverse_p == 1 means "always".
+  bool BernoulliOneIn(std::uint64_t inverse_p) {
+    if (inverse_p == 0) {
+      return false;
+    }
+    if (inverse_p == 1) {
+      return true;
+    }
+    return NextBelow(inverse_p) == 0;
+  }
+
+  // Bernoulli trial with probability `p` in [0,1].
+  bool BernoulliP(double p) {
+    if (p <= 0.0) {
+      return false;
+    }
+    if (p >= 1.0) {
+      return true;
+    }
+    // 53-bit mantissa comparison.
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0) < p;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+// A thread-local generator seeded from the thread's dense id. Used by lock
+// internals so they need no per-instance RNG state.
+XorShift64& ThreadLocalRng();
+
+}  // namespace malthus
+
+#endif  // MALTHUS_SRC_RNG_XORSHIFT_H_

@@ -1,0 +1,13 @@
+#include "src/sync/blocking_queue.h"
+
+#include "src/core/mcscr.h"
+#include "src/locks/mcs.h"
+
+namespace malthus {
+
+// Instantiation anchors for the template so header diagnostics surface in
+// the library build.
+template class BoundedBlockingQueue<int, McsSpinLock>;
+template class BoundedBlockingQueue<int, McscrStpLock>;
+
+}  // namespace malthus

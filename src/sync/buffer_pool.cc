@@ -1,0 +1,9 @@
+#include "src/sync/buffer_pool.h"
+
+#include "src/locks/mcs.h"
+
+namespace malthus {
+
+template class BufferPool<McsSpinLock>;
+
+}  // namespace malthus

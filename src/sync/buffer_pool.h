@@ -1,0 +1,118 @@
+// Central shared blocking buffer pool (paper §6.11): a mutex, a NotEmpty
+// condition variable with controllable append probability P, and a
+// std::deque of buffer pointers with LIFO allocation. P = 1 reproduces the
+// FIFO baseline of Figure 14, P = 0 pure LIFO, and intermediate values the
+// sensitivity sweep. A semaphore-gated variant (SemaphoreBufferPool) backs
+// the paper's "effectively identical" semaphore experiment.
+#ifndef MALTHUS_SRC_SYNC_BUFFER_POOL_H_
+#define MALTHUS_SRC_SYNC_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "src/core/cr_condvar.h"
+#include "src/core/cr_semaphore.h"
+
+namespace malthus {
+
+struct PoolBuffer {
+  explicit PoolBuffer(std::size_t bytes) : data(bytes, 0) {}
+  std::vector<std::uint32_t> data;  // sized in uint32 slots by the pool
+};
+
+template <typename Lock>
+class BufferPool {
+ public:
+  BufferPool(std::size_t buffer_count, std::size_t buffer_bytes, const CrCondVarOptions& cv_opts)
+      : not_empty_(cv_opts) {
+    for (std::size_t i = 0; i < buffer_count; ++i) {
+      storage_.push_back(std::make_unique<PoolBuffer>(buffer_bytes / sizeof(std::uint32_t)));
+      available_.push_back(storage_.back().get());
+    }
+  }
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  PoolBuffer* Acquire() {
+    lock_.lock();
+    while (available_.empty()) {
+      not_empty_.Wait(lock_);
+    }
+    // LIFO allocation: the most recently returned buffer is the warmest.
+    PoolBuffer* buffer = available_.back();
+    available_.pop_back();
+    lock_.unlock();
+    return buffer;
+  }
+
+  void Release(PoolBuffer* buffer) {
+    lock_.lock();
+    available_.push_back(buffer);
+    lock_.unlock();
+    not_empty_.Signal();
+  }
+
+  std::size_t AvailableCount() {
+    lock_.lock();
+    const std::size_t n = available_.size();
+    lock_.unlock();
+    return n;
+  }
+
+ private:
+  Lock lock_;
+  CrCondVar not_empty_;
+  std::deque<PoolBuffer*> available_;
+  std::vector<std::unique_ptr<PoolBuffer>> storage_;
+};
+
+// The semaphore variant: waiting for a buffer blocks on the semaphore, and
+// buffer handoff itself needs only a tiny spin-guarded stack.
+class SemaphoreBufferPool {
+ public:
+  SemaphoreBufferPool(std::size_t buffer_count, std::size_t buffer_bytes,
+                      const CrSemaphoreOptions& sem_opts)
+      : available_sem_(static_cast<std::int64_t>(buffer_count), sem_opts) {
+    for (std::size_t i = 0; i < buffer_count; ++i) {
+      storage_.push_back(std::make_unique<PoolBuffer>(buffer_bytes / sizeof(std::uint32_t)));
+      available_.push_back(storage_.back().get());
+    }
+  }
+  SemaphoreBufferPool(const SemaphoreBufferPool&) = delete;
+  SemaphoreBufferPool& operator=(const SemaphoreBufferPool&) = delete;
+
+  PoolBuffer* Acquire() {
+    available_sem_.Wait();
+    Guard();
+    PoolBuffer* buffer = available_.back();
+    available_.pop_back();
+    Unguard();
+    return buffer;
+  }
+
+  void Release(PoolBuffer* buffer) {
+    Guard();
+    available_.push_back(buffer);
+    Unguard();
+    available_sem_.Post();
+  }
+
+ private:
+  void Guard() {
+    while (guard_.exchange(1, std::memory_order_acquire) != 0) {
+      CpuRelax();
+    }
+  }
+  void Unguard() { guard_.store(0, std::memory_order_release); }
+
+  CrSemaphore available_sem_;
+  std::atomic<std::uint32_t> guard_{0};
+  std::vector<PoolBuffer*> available_;
+  std::vector<std::unique_ptr<PoolBuffer>> storage_;
+};
+
+}  // namespace malthus
+
+#endif  // MALTHUS_SRC_SYNC_BUFFER_POOL_H_

@@ -1,0 +1,63 @@
+#include "src/sync/thread_pool.h"
+
+#include "src/platform/cpu.h"
+
+namespace malthus {
+
+ThreadPool::ThreadPool(std::size_t workers, const CrCondVarOptions& cv_opts)
+    : work_available_(cv_opts), worker_task_counts_(workers, 0) {
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  lock_.lock();
+  shutdown_.store(true, std::memory_order_release);
+  lock_.unlock();
+  work_available_.Broadcast();
+  for (auto& w : workers_) {
+    w.join();
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  lock_.lock();
+  tasks_.push_back(std::move(task));
+  in_flight_.fetch_add(1, std::memory_order_relaxed);
+  lock_.unlock();
+  work_available_.Signal();
+}
+
+void ThreadPool::Drain() {
+  while (in_flight_.load(std::memory_order_acquire) != 0) {
+    std::this_thread::yield();
+  }
+}
+
+std::vector<std::uint64_t> ThreadPool::TaskCountsPerWorker() const {
+  return worker_task_counts_;
+}
+
+void ThreadPool::WorkerLoop(std::size_t index) {
+  while (true) {
+    lock_.lock();
+    while (tasks_.empty() && !shutdown_.load(std::memory_order_acquire)) {
+      work_available_.Wait(lock_);
+    }
+    if (tasks_.empty()) {
+      lock_.unlock();
+      return;  // Shutdown with an empty queue.
+    }
+    std::function<void()> task = std::move(tasks_.front());
+    tasks_.pop_front();
+    lock_.unlock();
+
+    task();
+    ++worker_task_counts_[index];
+    in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+}
+
+}  // namespace malthus

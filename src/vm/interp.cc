@@ -1,0 +1,174 @@
+#include "src/vm/interp.h"
+
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+
+namespace malthus::vm {
+namespace {
+
+const char* OpName(Op op) {
+  switch (op) {
+    case Op::kPushI:
+      return "push";
+    case Op::kPop:
+      return "pop";
+    case Op::kDup:
+      return "dup";
+    case Op::kLoadL:
+      return "loadl";
+    case Op::kStoreL:
+      return "storel";
+    case Op::kAdd:
+      return "add";
+    case Op::kSub:
+      return "sub";
+    case Op::kMul:
+      return "mul";
+    case Op::kMod:
+      return "mod";
+    case Op::kLt:
+      return "lt";
+    case Op::kRand:
+      return "rand";
+    case Op::kArrLoad:
+      return "aload";
+    case Op::kArrStore:
+      return "astore";
+    case Op::kJmp:
+      return "jmp";
+    case Op::kJnz:
+      return "jnz";
+    case Op::kHalt:
+      return "halt";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int Context::AddArray(std::size_t length) {
+  owned_.push_back(std::make_unique<std::vector<std::int64_t>>(length, 0));
+  arrays_.push_back(owned_.back().get());
+  return static_cast<int>(arrays_.size() - 1);
+}
+
+int Context::AddSharedArray(std::vector<std::int64_t>* storage) {
+  arrays_.push_back(storage);
+  return static_cast<int>(arrays_.size() - 1);
+}
+
+ExecResult Interp::Run(const Program& program, Context& ctx, std::uint64_t max_instructions) {
+  auto& stack = ctx.stack_;
+  auto pop = [&stack]() {
+    if (stack.empty()) {
+      throw std::runtime_error("vm: stack underflow");
+    }
+    const std::int64_t v = stack.back();
+    stack.pop_back();
+    return v;
+  };
+
+  ExecResult result;
+  std::size_t pc = 0;
+  while (result.instructions < max_instructions) {
+    if (pc >= program.size()) {
+      throw std::runtime_error("vm: pc out of range");
+    }
+    const Instr& ins = program[pc];
+    ++result.instructions;
+    ++pc;
+    switch (ins.op) {
+      case Op::kPushI:
+        stack.push_back(ins.imm);
+        break;
+      case Op::kPop:
+        (void)pop();
+        break;
+      case Op::kDup: {
+        const std::int64_t v = pop();
+        stack.push_back(v);
+        stack.push_back(v);
+        break;
+      }
+      case Op::kLoadL:
+        stack.push_back(ctx.locals_.at(static_cast<std::size_t>(ins.imm)));
+        break;
+      case Op::kStoreL:
+        ctx.locals_.at(static_cast<std::size_t>(ins.imm)) = pop();
+        break;
+      case Op::kAdd: {
+        const std::int64_t b = pop();
+        const std::int64_t a = pop();
+        stack.push_back(a + b);
+        break;
+      }
+      case Op::kSub: {
+        const std::int64_t b = pop();
+        const std::int64_t a = pop();
+        stack.push_back(a - b);
+        break;
+      }
+      case Op::kMul: {
+        const std::int64_t b = pop();
+        const std::int64_t a = pop();
+        stack.push_back(a * b);
+        break;
+      }
+      case Op::kMod: {
+        const std::int64_t b = pop();
+        const std::int64_t a = pop();
+        if (b == 0) {
+          throw std::runtime_error("vm: mod by zero");
+        }
+        stack.push_back(a % b);
+        break;
+      }
+      case Op::kLt: {
+        const std::int64_t b = pop();
+        const std::int64_t a = pop();
+        stack.push_back(a < b ? 1 : 0);
+        break;
+      }
+      case Op::kRand:
+        stack.push_back(static_cast<std::int64_t>(ctx.rng_.Next() >> 1));
+        break;
+      case Op::kArrLoad: {
+        auto& arr = ctx.ArrayAt(static_cast<int>(ins.imm));
+        const std::int64_t idx = pop();
+        stack.push_back(arr[static_cast<std::size_t>(idx) % arr.size()]);
+        break;
+      }
+      case Op::kArrStore: {
+        auto& arr = ctx.ArrayAt(static_cast<int>(ins.imm));
+        const std::int64_t v = pop();
+        const std::int64_t idx = pop();
+        arr[static_cast<std::size_t>(idx) % arr.size()] = v;
+        break;
+      }
+      case Op::kJmp:
+        pc = static_cast<std::size_t>(ins.imm);
+        break;
+      case Op::kJnz:
+        if (pop() != 0) {
+          pc = static_cast<std::size_t>(ins.imm);
+        }
+        break;
+      case Op::kHalt:
+        result.top = stack.empty() ? 0 : stack.back();
+        return result;
+    }
+  }
+  result.top = stack.empty() ? 0 : stack.back();
+  return result;
+}
+
+std::string Disassemble(const Program& program) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < program.size(); ++i) {
+    os << i << ": " << OpName(program[i].op) << ' ' << program[i].imm << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace malthus::vm

@@ -1,0 +1,90 @@
+// A tiny stack-machine bytecode interpreter — the "perl" substrate for the
+// Figure-13 experiment (DESIGN.md §2). The paper transliterated RandArray
+// to perl to show CR applied through the *condition variable* of an
+// interpreter-style lock construct; what matters is (a) interpreted-speed
+// execution (absolute throughput far below native) and (b) the lock
+// structure, not perl itself. The VM gives us both, deterministically.
+//
+// Machine model: operand stack of int64, a register file of locals, and a
+// set of named arrays owned by the execution context. Control flow is
+// absolute-target jumps. Execution is single-threaded per Context.
+#ifndef MALTHUS_SRC_VM_INTERP_H_
+#define MALTHUS_SRC_VM_INTERP_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/rng/xorshift.h"
+
+namespace malthus::vm {
+
+enum class Op : std::uint8_t {
+  kPushI,     // push immediate
+  kPop,       // drop top
+  kDup,       // duplicate top
+  kLoadL,     // push locals[imm]
+  kStoreL,    // locals[imm] = pop
+  kAdd,       // b=pop a=pop push a+b
+  kSub,       // push a-b
+  kMul,       // push a*b
+  kMod,       // push a%b (b != 0)
+  kLt,        // push a<b ? 1 : 0
+  kRand,      // push next pseudo-random value (context RNG)
+  kArrLoad,   // idx=pop; push arrays[imm][idx % len]
+  kArrStore,  // v=pop idx=pop; arrays[imm][idx % len] = v
+  kJmp,       // pc = imm
+  kJnz,       // if pop != 0: pc = imm
+  kHalt,
+};
+
+struct Instr {
+  Op op;
+  std::int64_t imm = 0;
+};
+
+using Program = std::vector<Instr>;
+
+// Per-thread execution context: stack, locals, arrays, RNG.
+class Context {
+ public:
+  explicit Context(std::uint64_t seed = 1) : rng_(seed) { locals_.resize(16, 0); }
+
+  // Registers an array; returns its id for kArrLoad/kArrStore imm fields.
+  int AddArray(std::size_t length);
+  // Shares an existing buffer (e.g. the CS array shared across contexts).
+  int AddSharedArray(std::vector<std::int64_t>* storage);
+
+  std::vector<std::int64_t>& ArrayAt(int id) { return *arrays_[static_cast<std::size_t>(id)]; }
+  std::int64_t local(std::size_t i) const { return locals_[i]; }
+  void set_local(std::size_t i, std::int64_t v) { locals_[i] = v; }
+
+ private:
+  friend class Interp;
+  std::vector<std::int64_t> stack_;
+  std::vector<std::int64_t> locals_;
+  std::vector<std::vector<std::int64_t>*> arrays_;
+  std::vector<std::unique_ptr<std::vector<std::int64_t>>> owned_;
+  XorShift64 rng_;
+};
+
+struct ExecResult {
+  std::uint64_t instructions = 0;
+  std::int64_t top = 0;  // top of stack at halt (0 if empty)
+};
+
+class Interp {
+ public:
+  // Runs until kHalt or `max_instructions`. Throws std::runtime_error on
+  // malformed programs (stack underflow, bad ids, pc out of range).
+  static ExecResult Run(const Program& program, Context& ctx,
+                        std::uint64_t max_instructions = UINT64_MAX);
+};
+
+// Human-readable disassembly, for tests and debugging.
+std::string Disassemble(const Program& program);
+
+}  // namespace malthus::vm
+
+#endif  // MALTHUS_SRC_VM_INTERP_H_

@@ -1,0 +1,73 @@
+#include "src/vm/program.h"
+
+namespace malthus::vm {
+
+// Register conventions for the loop builders: local0 = accumulator,
+// local1 = remaining iteration count.
+Program BuildRandArrayLoop(int array_id, std::int64_t iterations) {
+  Program p;
+  // locals[1] = iterations
+  p.push_back({Op::kPushI, iterations});
+  p.push_back({Op::kStoreL, 1});
+  // locals[0] = 0
+  p.push_back({Op::kPushI, 0});
+  p.push_back({Op::kStoreL, 0});
+  const std::int64_t loop_top = static_cast<std::int64_t>(p.size());
+  // sum += array[rand]
+  p.push_back({Op::kRand, 0});
+  p.push_back({Op::kArrLoad, array_id});
+  p.push_back({Op::kLoadL, 0});
+  p.push_back({Op::kAdd, 0});
+  p.push_back({Op::kStoreL, 0});
+  // if (--count) goto loop_top
+  p.push_back({Op::kLoadL, 1});
+  p.push_back({Op::kPushI, 1});
+  p.push_back({Op::kSub, 0});
+  p.push_back({Op::kDup, 0});
+  p.push_back({Op::kStoreL, 1});
+  p.push_back({Op::kJnz, loop_top});
+  // return sum
+  p.push_back({Op::kLoadL, 0});
+  p.push_back({Op::kHalt, 0});
+  return p;
+}
+
+Program BuildSumLoop(std::int64_t n) {
+  Program p;
+  p.push_back({Op::kPushI, 0});  // accumulator
+  p.push_back({Op::kStoreL, 0});
+  p.push_back({Op::kPushI, 0});  // i
+  p.push_back({Op::kStoreL, 1});
+  const std::int64_t loop_top = static_cast<std::int64_t>(p.size());
+  // acc += i
+  p.push_back({Op::kLoadL, 0});
+  p.push_back({Op::kLoadL, 1});
+  p.push_back({Op::kAdd, 0});
+  p.push_back({Op::kStoreL, 0});
+  // ++i
+  p.push_back({Op::kLoadL, 1});
+  p.push_back({Op::kPushI, 1});
+  p.push_back({Op::kAdd, 0});
+  p.push_back({Op::kStoreL, 1});
+  // if (i < n) goto loop_top
+  p.push_back({Op::kLoadL, 1});
+  p.push_back({Op::kPushI, n});
+  p.push_back({Op::kLt, 0});
+  p.push_back({Op::kJnz, loop_top});
+  p.push_back({Op::kLoadL, 0});
+  p.push_back({Op::kHalt, 0});
+  return p;
+}
+
+Program BuildArrayRoundTrip(int array_id, std::int64_t idx, std::int64_t value) {
+  Program p;
+  p.push_back({Op::kPushI, idx});
+  p.push_back({Op::kPushI, value});
+  p.push_back({Op::kArrStore, array_id});
+  p.push_back({Op::kPushI, idx});
+  p.push_back({Op::kArrLoad, array_id});
+  p.push_back({Op::kHalt, 0});
+  return p;
+}
+
+}  // namespace malthus::vm

@@ -1,0 +1,25 @@
+// Canned VM programs for tests and the Figure-13 benchmark.
+#ifndef MALTHUS_SRC_VM_PROGRAM_H_
+#define MALTHUS_SRC_VM_PROGRAM_H_
+
+#include <cstdint>
+
+#include "src/vm/interp.h"
+
+namespace malthus::vm {
+
+// The RandArray inner loop, interpreted: repeat `iterations` times
+//   idx = rand() ; sum += array[idx % len]
+// leaving the running sum in local 0. `array_id` must reference an array
+// registered in the executing Context.
+Program BuildRandArrayLoop(int array_id, std::int64_t iterations);
+
+// sum of 0..n-1 via a counted loop; exercises arithmetic + control flow.
+Program BuildSumLoop(std::int64_t n);
+
+// Writes `value` to array[idx] then reads it back, leaving it on the stack.
+Program BuildArrayRoundTrip(int array_id, std::int64_t idx, std::int64_t value);
+
+}  // namespace malthus::vm
+
+#endif  // MALTHUS_SRC_VM_PROGRAM_H_

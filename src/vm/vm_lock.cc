@@ -1,0 +1,4 @@
+#include "src/vm/vm_lock.h"
+
+// VmLock is fully inline; build anchor only.
+namespace malthus::vm {}

@@ -1,0 +1,59 @@
+// Backoff helpers for *global* spinning (TAS and ticket locks).
+//
+// The paper: "A simple fixed back-off usually suffices for local spinning,
+// while randomized back-off is more suitable for global spinning." TAS locks
+// need randomized exponential backoff to damp the thundering herd; ticket
+// locks use backoff proportional to the caller's distance from the
+// now-serving counter.
+#ifndef MALTHUS_SRC_WAITING_BACKOFF_H_
+#define MALTHUS_SRC_WAITING_BACKOFF_H_
+
+#include <cstdint>
+
+#include "src/platform/cpu.h"
+#include "src/rng/xorshift.h"
+
+namespace malthus {
+
+// Randomized truncated exponential backoff. Each Pause() spins a uniformly
+// random number of iterations in [1, ceiling], then doubles the ceiling.
+class ExponentialBackoff {
+ public:
+  explicit ExponentialBackoff(std::uint32_t initial_ceiling = 16,
+                              std::uint32_t max_ceiling = 4096)
+      : ceiling_(initial_ceiling),
+        max_ceiling_(max_ceiling),
+        initial_ceiling_snapshot_(initial_ceiling) {}
+
+  void Pause(XorShift64& rng) {
+    const std::uint32_t iters = 1 + static_cast<std::uint32_t>(rng.NextBelow(ceiling_));
+    for (std::uint32_t i = 0; i < iters; ++i) {
+      CpuRelax();
+    }
+    if (ceiling_ < max_ceiling_) {
+      ceiling_ *= 2;
+    }
+  }
+
+  void Reset() { ceiling_ = initial_ceiling_snapshot_; }
+
+  std::uint32_t ceiling() const { return ceiling_; }
+
+ private:
+  std::uint32_t ceiling_;
+  std::uint32_t max_ceiling_;
+  std::uint32_t initial_ceiling_snapshot_;
+};
+
+// Backoff proportional to queue position (ticket locks): a thread k slots
+// from the head expects ~k critical sections to pass before its turn.
+inline void ProportionalBackoff(std::uint64_t distance, std::uint32_t unit = 32) {
+  const std::uint64_t iters = distance * unit;
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    CpuRelax();
+  }
+}
+
+}  // namespace malthus
+
+#endif  // MALTHUS_SRC_WAITING_BACKOFF_H_

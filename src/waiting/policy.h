@@ -1,0 +1,97 @@
+// Waiting policies (§5.1 of the paper), expressed as types plugged into the
+// lock templates.
+//
+//   SpinPolicy         — unbounded polite local spinning (MCS-S, MCSCR-S).
+//   SpinThenParkPolicy — bounded spin approximating one context-switch round
+//                        trip, then park (MCS-STP, MCSCR-STP). Karlin/Lim:
+//                        spinning for the switch cost then parking is
+//                        2-competitive.
+//   ParkPolicy         — park promptly (degenerate STP with zero budget).
+//
+// Each policy provides:
+//   Await(flag, expected, parker)  — block until *flag != expected.
+//   Wake(parker)                   — called by the granter after the flag
+//                                    write; a no-op for pure spinning.
+//
+// The flag is the waiter's own node status (local spinning): at most one
+// thread spins on a given line, minimizing the invalidation diameter.
+#ifndef MALTHUS_SRC_WAITING_POLICY_H_
+#define MALTHUS_SRC_WAITING_POLICY_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/platform/calibrate.h"
+#include "src/platform/cpu.h"
+#include "src/platform/park.h"
+
+namespace malthus {
+
+// Fallback spin budget for spin-then-park, in spin-loop iterations. Locks
+// default to kAutoSpinBudget, which resolves to the measured park/unpark
+// round trip (CalibratedSpinBudget) — the paper's "empirically derived
+// estimate of the average round-trip context switch time".
+inline constexpr std::uint32_t kDefaultSpinBudget = 1000;
+
+// Sentinel: resolve the budget by calibration at lock construction.
+inline constexpr std::uint32_t kAutoSpinBudget = UINT32_MAX;
+
+inline std::uint32_t ResolveSpinBudget(std::uint32_t requested) {
+  return requested == kAutoSpinBudget ? CalibratedSpinBudget() : requested;
+}
+
+struct SpinPolicy {
+  static constexpr bool kParks = false;
+
+  template <typename T>
+  static void Await(const std::atomic<T>& flag, T expected_while_waiting, Parker& /*parker*/,
+                    std::uint32_t /*spin_budget*/ = kDefaultSpinBudget) {
+    while (flag.load(std::memory_order_acquire) == expected_while_waiting) {
+      CpuRelax();
+    }
+  }
+
+  static void Wake(Parker& /*parker*/) {}
+};
+
+struct SpinThenParkPolicy {
+  static constexpr bool kParks = true;
+
+  template <typename T>
+  static void Await(const std::atomic<T>& flag, T expected_while_waiting, Parker& parker,
+                    std::uint32_t spin_budget = kDefaultSpinBudget) {
+    // Phase 1: optimistic local spinning, betting that a grant arrives within
+    // roughly a context-switch round trip.
+    for (std::uint32_t i = 0; i < spin_budget; ++i) {
+      if (flag.load(std::memory_order_acquire) != expected_while_waiting) {
+        return;
+      }
+      CpuRelax();
+    }
+    // Phase 2: park. Park() may consume a stale permit from a previous grant
+    // cycle, so the condition is always re-checked.
+    while (flag.load(std::memory_order_acquire) == expected_while_waiting) {
+      parker.Park();
+    }
+  }
+
+  static void Wake(Parker& parker) { parker.Unpark(); }
+};
+
+struct ParkPolicy {
+  static constexpr bool kParks = true;
+
+  template <typename T>
+  static void Await(const std::atomic<T>& flag, T expected_while_waiting, Parker& parker,
+                    std::uint32_t /*spin_budget*/ = 0) {
+    while (flag.load(std::memory_order_acquire) == expected_while_waiting) {
+      parker.Park();
+    }
+  }
+
+  static void Wake(Parker& parker) { parker.Unpark(); }
+};
+
+}  // namespace malthus
+
+#endif  // MALTHUS_SRC_WAITING_POLICY_H_

@@ -1,0 +1,175 @@
+// Splay-heap allocator: split/coalesce correctness, boundary-tag integrity,
+// exhaustion behaviour, pattern integrity, and the locked multi-thread form.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "src/alloc/splay_heap.h"
+#include "src/core/mcscr.h"
+#include "src/rng/xorshift.h"
+
+namespace malthus {
+namespace {
+
+TEST(SplayHeap, AllocateFreeRoundTrip) {
+  SplayHeap heap(1 << 20);
+  void* p = heap.Allocate(100);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % 8, 0u);
+  heap.Free(p);
+  EXPECT_TRUE(heap.CheckConsistency());
+  EXPECT_EQ(heap.FreeBlockCount(), 1u);  // Fully coalesced back.
+}
+
+TEST(SplayHeap, DistinctAllocationsDoNotOverlap) {
+  SplayHeap heap(1 << 20);
+  std::vector<std::pair<char*, std::size_t>> blocks;
+  XorShift64 rng(3);
+  for (int i = 0; i < 100; ++i) {
+    const std::size_t n = 16 + rng.NextBelow(500);
+    char* p = static_cast<char*>(heap.Allocate(n));
+    ASSERT_NE(p, nullptr);
+    std::memset(p, static_cast<int>(i & 0xFF), n);
+    blocks.emplace_back(p, n);
+  }
+  // Verify every block still holds its pattern (no overlap/corruption).
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    for (std::size_t j = 0; j < blocks[i].second; ++j) {
+      ASSERT_EQ(static_cast<unsigned char>(blocks[i].first[j]),
+                static_cast<unsigned char>(i & 0xFF));
+    }
+  }
+  for (auto& [p, n] : blocks) {
+    heap.Free(p);
+  }
+  EXPECT_TRUE(heap.CheckConsistency());
+  EXPECT_EQ(heap.FreeBlockCount(), 1u);
+}
+
+TEST(SplayHeap, CoalescesWithBothNeighbours) {
+  SplayHeap heap(1 << 16);
+  void* a = heap.Allocate(256);
+  void* b = heap.Allocate(256);
+  void* c = heap.Allocate(256);
+  ASSERT_NE(c, nullptr);
+  heap.Free(a);
+  heap.Free(c);
+  EXPECT_TRUE(heap.CheckConsistency());
+  heap.Free(b);  // Middle free must merge a+b+c (and the arena tail).
+  EXPECT_TRUE(heap.CheckConsistency());
+  EXPECT_EQ(heap.FreeBlockCount(), 1u);
+}
+
+TEST(SplayHeap, ExhaustionReturnsNullNotUb) {
+  SplayHeap heap(4096);
+  std::vector<void*> blocks;
+  while (void* p = heap.Allocate(256)) {
+    blocks.push_back(p);
+  }
+  EXPECT_FALSE(blocks.empty());
+  EXPECT_EQ(heap.Allocate(256), nullptr);
+  for (void* p : blocks) {
+    heap.Free(p);
+  }
+  EXPECT_TRUE(heap.CheckConsistency());
+  EXPECT_NE(heap.Allocate(256), nullptr);  // Usable again.
+}
+
+TEST(SplayHeap, BestFitPrefersSmallestSufficientBlock) {
+  SplayHeap heap(1 << 16);
+  // Carve the arena into two free islands of different sizes.
+  void* a = heap.Allocate(512);   // island boundary pins
+  void* big = heap.Allocate(4096);
+  void* b = heap.Allocate(512);
+  void* small = heap.Allocate(1024);
+  void* c = heap.Allocate(512);
+  ASSERT_NE(c, nullptr);
+  heap.Free(big);
+  heap.Free(small);
+  // A 900-byte request fits both islands; best-fit must take the 1024 one.
+  void* p = heap.Allocate(900);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p, small);  // Reused the smaller island's storage.
+  heap.Free(p);
+  heap.Free(a);
+  heap.Free(b);
+  heap.Free(c);
+  EXPECT_TRUE(heap.CheckConsistency());
+}
+
+TEST(SplayHeap, RandomChurnKeepsInvariants) {
+  SplayHeap heap(1 << 20);
+  XorShift64 rng(17);
+  std::vector<std::pair<void*, std::size_t>> live;
+  for (int step = 0; step < 20000; ++step) {
+    if (live.empty() || rng.NextBelow(2) == 0) {
+      const std::size_t n = 16 + rng.NextBelow(2000);
+      void* p = heap.Allocate(n);
+      if (p != nullptr) {
+        live.emplace_back(p, n);
+      }
+    } else {
+      const std::size_t i = rng.NextBelow(live.size());
+      heap.Free(live[i].first);
+      live[i] = live.back();
+      live.pop_back();
+    }
+  }
+  EXPECT_TRUE(heap.CheckConsistency());
+  for (auto& [p, n] : live) {
+    heap.Free(p);
+  }
+  EXPECT_TRUE(heap.CheckConsistency());
+  EXPECT_EQ(heap.FreeBlockCount(), 1u);
+}
+
+TEST(SplayHeap, ZeroAndNullEdgeCases) {
+  SplayHeap heap(1 << 16);
+  heap.Free(nullptr);  // No-op.
+  void* p = heap.Allocate(0);  // Minimum block, still valid storage.
+  ASSERT_NE(p, nullptr);
+  heap.Free(p);
+  EXPECT_TRUE(heap.CheckConsistency());
+}
+
+TEST(SplayHeap, SplayTreeActuallySplays) {
+  SplayHeap heap(1 << 20);
+  void* p = heap.Allocate(64);
+  heap.Free(p);
+  EXPECT_GT(heap.splay_operations(), 0u);
+}
+
+TEST(LockedHeap, MmicroStyleMultithreadedChurn) {
+  // The mmicro inner loop: allocate and zero a batch, then free it, all
+  // through the central lock.
+  LockedHeap<McscrStpLock> heap(64u << 20);
+  constexpr int kThreads = 8;
+  constexpr int kBatches = 30;
+  constexpr int kBatch = 100;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      std::vector<void*> batch(kBatch);
+      for (int r = 0; r < kBatches; ++r) {
+        for (int i = 0; i < kBatch; ++i) {
+          batch[static_cast<std::size_t>(i)] = heap.Allocate(1000);
+          ASSERT_NE(batch[static_cast<std::size_t>(i)], nullptr);
+          std::memset(batch[static_cast<std::size_t>(i)], 0, 1000);
+        }
+        for (int i = 0; i < kBatch; ++i) {
+          heap.Free(batch[static_cast<std::size_t>(i)]);
+        }
+      }
+    });
+  }
+  for (auto& w : workers) {
+    w.join();
+  }
+  EXPECT_TRUE(heap.heap().CheckConsistency());
+  EXPECT_EQ(heap.heap().FreeBlockCount(), 1u);
+}
+
+}  // namespace
+}  // namespace malthus

@@ -1,0 +1,179 @@
+// Cache simulator: hit/miss mechanics, LRU eviction, associativity, miss
+// classification (cold/self/extrinsic), and the RandArray schedule replay
+// (FIFO vs CR) that validates the paper's §6.1 thrashing claim.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/cachesim/cache.h"
+#include "src/cachesim/replay.h"
+
+namespace malthus {
+namespace {
+
+CacheConfig TinyCache(std::size_t size, std::uint32_t ways, std::uint32_t line = 64) {
+  CacheConfig c;
+  c.size_bytes = size;
+  c.ways = ways;
+  c.line_bytes = line;
+  return c;
+}
+
+TEST(CacheSim, FirstAccessIsColdMissThenHit) {
+  CacheSim cache(TinyCache(1024, 2));
+  EXPECT_EQ(cache.Access(0, 0), AccessOutcome::kColdMiss);
+  EXPECT_EQ(cache.Access(0, 0), AccessOutcome::kHit);
+  EXPECT_EQ(cache.Access(0, 32), AccessOutcome::kHit);  // Same 64B line.
+  EXPECT_EQ(cache.Access(0, 64), AccessOutcome::kColdMiss);  // Next line.
+}
+
+TEST(CacheSim, SetMappingIsModular) {
+  // 1024B / (2 ways * 64B) = 8 sets. Addresses 64*8 apart share a set.
+  CacheSim cache(TinyCache(1024, 2));
+  EXPECT_EQ(cache.SetCount(), 8u);
+  EXPECT_EQ(cache.Access(0, 0), AccessOutcome::kColdMiss);
+  EXPECT_EQ(cache.Access(0, 512), AccessOutcome::kColdMiss);   // same set, way 2
+  EXPECT_EQ(cache.Access(0, 0), AccessOutcome::kHit);          // both resident
+  EXPECT_EQ(cache.Access(0, 512), AccessOutcome::kHit);
+}
+
+TEST(CacheSim, LruEvictionOrder) {
+  // 2-way set: A, B fill it; touching A then inserting C must evict B.
+  CacheSim cache(TinyCache(1024, 2));
+  const std::uint64_t a = 0;
+  const std::uint64_t b = 512;
+  const std::uint64_t c = 1024;
+  cache.Access(0, a);
+  cache.Access(0, b);
+  cache.Access(0, a);              // A is now MRU.
+  cache.Access(0, c);              // Evicts B (LRU).
+  EXPECT_EQ(cache.Access(0, a), AccessOutcome::kHit);
+  EXPECT_NE(cache.Access(0, b), AccessOutcome::kHit);
+}
+
+TEST(CacheSim, SelfMissClassification) {
+  // One CPU thrashing a set alone: re-misses are self-inflicted.
+  CacheSim cache(TinyCache(1024, 2));
+  cache.Access(0, 0);
+  cache.Access(0, 512);
+  cache.Access(0, 1024);  // Evicts line 0 (installed by cpu 0).
+  EXPECT_EQ(cache.Access(0, 0), AccessOutcome::kSelfMiss);
+}
+
+TEST(CacheSim, ExtrinsicMissClassification) {
+  // CPU 1 evicts CPU 0's line: CPU 0's re-miss is extrinsic interference.
+  CacheSim cache(TinyCache(1024, 2));
+  cache.Access(0, 0);
+  cache.Access(1, 512);
+  cache.Access(1, 1024);  // Set now {512,1024}; evicted line 0 by cpu 1.
+  EXPECT_EQ(cache.Access(0, 0), AccessOutcome::kExtrinsicMiss);
+}
+
+TEST(CacheSim, PerCpuStatsAccumulate) {
+  CacheSim cache(TinyCache(4096, 4));
+  cache.Access(0, 0);
+  cache.Access(0, 0);
+  cache.Access(1, 4096);
+  EXPECT_EQ(cache.CpuStats(0).hits, 1u);
+  EXPECT_EQ(cache.CpuStats(0).cold_misses, 1u);
+  EXPECT_EQ(cache.CpuStats(1).cold_misses, 1u);
+  EXPECT_EQ(cache.TotalStats().Accesses(), 3u);
+}
+
+TEST(CacheSim, ResetStatsKeepsContents) {
+  CacheSim cache(TinyCache(4096, 4));
+  cache.Access(0, 0);
+  cache.ResetStats();
+  EXPECT_EQ(cache.TotalStats().Accesses(), 0u);
+  EXPECT_EQ(cache.Access(0, 0), AccessOutcome::kHit);  // Still resident.
+}
+
+TEST(CacheSim, WorkingSetWithinCapacityNeverEvicts) {
+  // Fully touch a working set half the cache size; second pass = all hits.
+  CacheSim cache(TinyCache(64 * 1024, 8));
+  for (std::uint64_t addr = 0; addr < 32 * 1024; addr += 64) {
+    cache.Access(0, addr);
+  }
+  cache.ResetStats();
+  for (std::uint64_t addr = 0; addr < 32 * 1024; addr += 64) {
+    EXPECT_EQ(cache.Access(0, addr), AccessOutcome::kHit);
+  }
+}
+
+TEST(Replay, FifoScheduleIsRoundRobin) {
+  const auto s = MakeFifoSchedule(4, 12);
+  ASSERT_EQ(s.size(), 12u);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    EXPECT_EQ(s[i], i % 4);
+  }
+}
+
+TEST(Replay, CrScheduleCyclesOverAcs) {
+  const auto s = MakeCrSchedule(16, 4, 100, /*fairness_period=*/1000000);
+  // Without fairness events, only threads 0..3 appear.
+  for (const auto tid : s) {
+    EXPECT_LT(tid, 4u);
+  }
+}
+
+TEST(Replay, CrScheduleFairnessRotatesWindow) {
+  const auto s = MakeCrSchedule(16, 4, 5000, /*fairness_period=*/100);
+  std::set<std::uint32_t> distinct(s.begin(), s.end());
+  // The sliding window must eventually expose every thread.
+  EXPECT_EQ(distinct.size(), 16u);
+}
+
+TEST(Replay, CrAcsLargerThanPopulationClamps) {
+  const auto s = MakeCrSchedule(3, 10, 30, 1000000);
+  for (const auto tid : s) {
+    EXPECT_LT(tid, 3u);
+  }
+}
+
+// The headline §6.1 validation: with 16 threads of 1MB private footprint
+// against an 8MB LLC, FIFO thrashes (high extrinsic CS miss rate) while a
+// CR schedule clamped to 5 threads fits and the CS misses collapse.
+TEST(Replay, CrEliminatesExtrinsicCsMisses) {
+  ReplayConfig config;
+  config.threads = 16;
+  config.ncs_footprint_bytes = 1u << 20;
+  config.cs_footprint_bytes = 1u << 20;
+  config.cs_accesses = 100;
+  config.ncs_accesses = 400;
+  config.total_admissions = 8000;
+
+  CacheConfig llc;
+  llc.size_bytes = 8u << 20;
+  llc.ways = 16;
+
+  const auto fifo = ReplaySchedule(config, llc, MakeFifoSchedule(config.threads, config.total_admissions));
+  const auto cr = ReplaySchedule(
+      config, llc, MakeCrSchedule(config.threads, 5, config.total_admissions, 1000));
+
+  EXPECT_GT(fifo.cs_miss_rate, 2.0 * cr.cs_miss_rate);
+  EXPECT_GT(fifo.cs_extrinsic_rate, cr.cs_extrinsic_rate);
+}
+
+// Below saturation-footprint there is nothing for CR to win: both schedules
+// fit and miss rates converge after warmup.
+TEST(Replay, NoBenefitWhenFootprintFits) {
+  ReplayConfig config;
+  config.threads = 4;
+  config.ncs_footprint_bytes = 256u << 10;
+  config.cs_footprint_bytes = 256u << 10;
+  config.cs_accesses = 100;
+  config.ncs_accesses = 400;
+  config.total_admissions = 6000;
+
+  CacheConfig llc;
+  llc.size_bytes = 8u << 20;
+  llc.ways = 16;
+
+  const auto fifo = ReplaySchedule(config, llc, MakeFifoSchedule(config.threads, config.total_admissions));
+  const auto cr = ReplaySchedule(
+      config, llc, MakeCrSchedule(config.threads, 4, config.total_admissions, 1000));
+  EXPECT_NEAR(fifo.cs_miss_rate, cr.cs_miss_rate, 0.02);
+}
+
+}  // namespace
+}  // namespace malthus

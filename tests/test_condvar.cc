@@ -1,0 +1,242 @@
+// CrCondVar: Mesa semantics, signal/broadcast, FIFO vs LIFO queue
+// discipline, and producer/consumer correctness through the condvar.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "src/core/cr_condvar.h"
+#include "src/locks/mcs.h"
+#include "src/locks/tas.h"
+
+namespace malthus {
+namespace {
+
+TEST(CrCondVar, SignalWakesOneWaiter) {
+  TtasLock lock;
+  CrCondVar cv;
+  std::atomic<int> awake{0};
+  bool go = false;
+  std::thread waiter([&] {
+    lock.lock();
+    while (!go) {
+      cv.Wait(lock);
+    }
+    awake.fetch_add(1);
+    lock.unlock();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(awake.load(), 0);
+  lock.lock();
+  go = true;
+  lock.unlock();
+  cv.Signal();
+  waiter.join();
+  EXPECT_EQ(awake.load(), 1);
+}
+
+TEST(CrCondVar, SignalWithNoWaitersIsLost) {
+  TtasLock lock;
+  CrCondVar cv;
+  cv.Signal();  // Must not persist.
+  EXPECT_EQ(cv.WaiterCount(), 0u);
+}
+
+TEST(CrCondVar, BroadcastWakesAll) {
+  TtasLock lock;
+  CrCondVar cv;
+  constexpr int kWaiters = 6;
+  std::atomic<int> awake{0};
+  bool go = false;
+  std::vector<std::thread> waiters;
+  for (int i = 0; i < kWaiters; ++i) {
+    waiters.emplace_back([&] {
+      lock.lock();
+      while (!go) {
+        cv.Wait(lock);
+      }
+      awake.fetch_add(1);
+      lock.unlock();
+    });
+  }
+  while (cv.WaiterCount() != kWaiters) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  lock.lock();
+  go = true;
+  lock.unlock();
+  cv.Broadcast();
+  for (auto& w : waiters) {
+    w.join();
+  }
+  EXPECT_EQ(awake.load(), kWaiters);
+}
+
+TEST(CrCondVar, FifoDisciplineWakesInArrivalOrder) {
+  TtasLock lock;
+  CrCondVar cv;  // default: append_probability = 1 (FIFO)
+  std::vector<int> wake_order;
+  std::vector<std::thread> waiters;
+  for (int i = 0; i < 4; ++i) {
+    waiters.emplace_back([&, i] {
+      lock.lock();
+      cv.Wait(lock);
+      wake_order.push_back(i);
+      lock.unlock();
+    });
+    // Arrival order i = 0,1,2,3.
+    while (cv.WaiterCount() != static_cast<std::size_t>(i + 1)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  for (int i = 0; i < 4; ++i) {
+    cv.Signal();
+    // Let the woken thread record itself before the next signal.
+    while (static_cast<int>([&] {
+             lock.lock();
+             const std::size_t n = wake_order.size();
+             lock.unlock();
+             return n;
+           }()) != i + 1) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  for (auto& w : waiters) {
+    w.join();
+  }
+  EXPECT_EQ(wake_order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(CrCondVar, LifoDisciplineWakesMostRecentFirst) {
+  TtasLock lock;
+  CrCondVar cv(CrCondVarOptions{.append_probability = 0.0});  // pure LIFO
+  std::vector<int> wake_order;
+  std::vector<std::thread> waiters;
+  for (int i = 0; i < 4; ++i) {
+    waiters.emplace_back([&, i] {
+      lock.lock();
+      cv.Wait(lock);
+      wake_order.push_back(i);
+      lock.unlock();
+    });
+    while (cv.WaiterCount() != static_cast<std::size_t>(i + 1)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  for (int i = 0; i < 4; ++i) {
+    cv.Signal();
+    while (static_cast<int>([&] {
+             lock.lock();
+             const std::size_t n = wake_order.size();
+             lock.unlock();
+             return n;
+           }()) != i + 1) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  for (auto& w : waiters) {
+    w.join();
+  }
+  EXPECT_EQ(wake_order, (std::vector<int>{3, 2, 1, 0}));
+}
+
+TEST(CrCondVar, PredicateOverloadLoopsUntilTrue) {
+  TtasLock lock;
+  CrCondVar cv;
+  int value = 0;
+  std::thread consumer([&] {
+    lock.lock();
+    cv.Wait(lock, [&] { return value == 3; });
+    EXPECT_EQ(value, 3);
+    lock.unlock();
+  });
+  for (int i = 1; i <= 3; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    lock.lock();
+    value = i;
+    lock.unlock();
+    cv.Signal();
+  }
+  consumer.join();
+}
+
+TEST(CrCondVar, WorksWithMcsMutex) {
+  McsStpLock lock;
+  CrCondVar cv;
+  bool ready = false;
+  int data = 0;
+  std::thread consumer([&] {
+    lock.lock();
+    cv.Wait(lock, [&] { return ready; });
+    EXPECT_EQ(data, 42);
+    lock.unlock();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  lock.lock();
+  data = 42;
+  ready = true;
+  lock.unlock();
+  cv.Signal();
+  consumer.join();
+}
+
+TEST(CrCondVar, StressPingPong) {
+  TtasLock lock;
+  CrCondVar cv;
+  int turn = 0;  // 0 = producer's turn, 1 = consumer's
+  constexpr int kRounds = 5000;
+  std::thread consumer([&] {
+    for (int i = 0; i < kRounds; ++i) {
+      lock.lock();
+      while (turn != 1) {
+        cv.Wait(lock);
+      }
+      turn = 0;
+      lock.unlock();
+      cv.Broadcast();
+    }
+  });
+  for (int i = 0; i < kRounds; ++i) {
+    lock.lock();
+    while (turn != 0) {
+      cv.Wait(lock);
+    }
+    turn = 1;
+    lock.unlock();
+    cv.Broadcast();
+  }
+  consumer.join();
+}
+
+TEST(CrCondVar, MostlyLifoMixesBothEnds) {
+  // With P = 0.5 and many enqueues, both append and prepend paths must be
+  // exercised (statistically certain).
+  TtasLock lock;
+  CrCondVar cv(CrCondVarOptions{.append_probability = 0.5});
+  std::atomic<int> woken{0};
+  constexpr int kWaiters = 16;
+  std::vector<std::thread> waiters;
+  for (int i = 0; i < kWaiters; ++i) {
+    waiters.emplace_back([&] {
+      lock.lock();
+      cv.Wait(lock);
+      woken.fetch_add(1);
+      lock.unlock();
+    });
+  }
+  while (cv.WaiterCount() != kWaiters) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  for (int i = 0; i < kWaiters; ++i) {
+    cv.Signal();
+  }
+  for (auto& w : waiters) {
+    w.join();
+  }
+  EXPECT_EQ(woken.load(), kWaiters);
+}
+
+}  // namespace
+}  // namespace malthus

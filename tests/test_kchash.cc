@@ -1,0 +1,114 @@
+// kchash substrate: CRUD, LRU capacity eviction, bucket/LRU invariants, and
+// the locked wicked-mix stress.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/mcscr.h"
+#include "src/kchash/kchash.h"
+#include "src/locks/pthread_style.h"
+
+namespace malthus {
+namespace {
+
+TEST(KcHash, SetGetRemove) {
+  KcHashCore db(64, 100);
+  db.Set(1, "one");
+  db.Set(2, "two");
+  ASSERT_TRUE(db.Get(1).has_value());
+  EXPECT_EQ(*db.Get(1), "one");
+  EXPECT_TRUE(db.Remove(1));
+  EXPECT_FALSE(db.Get(1).has_value());
+  EXPECT_FALSE(db.Remove(1));
+  EXPECT_EQ(db.Size(), 1u);
+  EXPECT_TRUE(db.CheckInvariants());
+}
+
+TEST(KcHash, OverwriteKeepsSingleRecord) {
+  KcHashCore db(64, 100);
+  db.Set(5, "a");
+  db.Set(5, "b");
+  EXPECT_EQ(db.Size(), 1u);
+  EXPECT_EQ(*db.Get(5), "b");
+  EXPECT_TRUE(db.CheckInvariants());
+}
+
+TEST(KcHash, CapacityEvictsColdestFirst) {
+  KcHashCore db(16, 3);
+  db.Set(1, "a");
+  db.Set(2, "b");
+  db.Set(3, "c");
+  db.Get(1);       // 1 becomes MRU; 2 is now coldest.
+  db.Set(4, "d");  // Evicts 2.
+  EXPECT_TRUE(db.Get(1).has_value());
+  EXPECT_FALSE(db.Get(2).has_value());
+  EXPECT_TRUE(db.Get(3).has_value());
+  EXPECT_TRUE(db.Get(4).has_value());
+  EXPECT_EQ(db.evictions(), 1u);
+  EXPECT_TRUE(db.CheckInvariants());
+}
+
+TEST(KcHash, SizeNeverExceedsCapacity) {
+  KcHashCore db(32, 50);
+  for (std::uint64_t k = 0; k < 1000; ++k) {
+    db.Set(k, "v");
+    ASSERT_LE(db.Size(), 50u);
+  }
+  EXPECT_TRUE(db.CheckInvariants());
+}
+
+TEST(KcHash, CollidingKeysChainCorrectly) {
+  KcHashCore db(1, 100);  // Single bucket: everything collides.
+  for (std::uint64_t k = 0; k < 50; ++k) {
+    db.Set(k, std::to_string(k));
+  }
+  for (std::uint64_t k = 0; k < 50; ++k) {
+    ASSERT_TRUE(db.Get(k).has_value());
+    EXPECT_EQ(*db.Get(k), std::to_string(k));
+  }
+  for (std::uint64_t k = 0; k < 50; k += 2) {
+    EXPECT_TRUE(db.Remove(k));
+  }
+  EXPECT_EQ(db.Size(), 25u);
+  EXPECT_TRUE(db.CheckInvariants());
+}
+
+TEST(LockedKcHash, WickedMixUnderContention) {
+  LockedKcHash<McscrStpLock> db(1 << 12, 10000);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 8; ++t) {
+    workers.emplace_back([&, t] {
+      XorShift64 rng(static_cast<std::uint64_t>(t) * 7 + 1);
+      for (int i = 0; i < 30000; ++i) {
+        db.WickedStep(rng, 100000);
+      }
+    });
+  }
+  for (auto& w : workers) {
+    w.join();
+  }
+  EXPECT_TRUE(db.core().CheckInvariants());
+  EXPECT_LE(db.core().Size(), 10000u);
+}
+
+TEST(LockedKcHash, WorksWithPthreadStyleMutex) {
+  LockedKcHash<PthreadStyleMutex> db(1 << 10, 1000);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&, t] {
+      XorShift64 rng(static_cast<std::uint64_t>(t) + 99);
+      for (int i = 0; i < 10000; ++i) {
+        db.WickedStep(rng, 5000);
+      }
+    });
+  }
+  for (auto& w : workers) {
+    w.join();
+  }
+  EXPECT_TRUE(db.core().CheckInvariants());
+}
+
+}  // namespace
+}  // namespace malthus

@@ -1,0 +1,395 @@
+// Lock correctness tests: mutual exclusion, progress, nesting, and
+// admission-order properties, parameterized over every algorithm in the
+// registry (TEST_P), plus per-algorithm specifics (FIFO order for queue
+// locks, try_lock semantics, preemption-ish oversubscription runs).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/core/lifocr.h"
+#include "src/core/mcscr.h"
+#include "src/locks/any_lock.h"
+#include "src/locks/clh.h"
+#include "src/locks/mcs.h"
+#include "src/locks/pthread_style.h"
+#include "src/locks/tas.h"
+#include "src/locks/ticket.h"
+#include "src/metrics/admission_log.h"
+
+namespace malthus {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Parameterized property tests over all real locks (the degenerate "null"
+// lock is excluded: it intentionally provides no exclusion).
+
+class AllLocksTest : public ::testing::TestWithParam<std::string> {};
+
+std::vector<std::string> RealLockNames() {
+  std::vector<std::string> names = AllLockNames();
+  names.erase(std::remove(names.begin(), names.end(), "null"), names.end());
+  return names;
+}
+
+TEST_P(AllLocksTest, MutualExclusionUnderContention) {
+  auto lock = MakeLock(GetParam());
+  ASSERT_NE(lock, nullptr);
+  constexpr int kThreads = 8;
+  constexpr int kIters = 4000;
+  std::uint64_t counter = 0;  // Deliberately non-atomic.
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        lock->lock();
+        counter = counter + 1;
+        lock->unlock();
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(counter, static_cast<std::uint64_t>(kThreads) * kIters);
+}
+
+TEST_P(AllLocksTest, SingleThreadedLockUnlockCycles) {
+  auto lock = MakeLock(GetParam());
+  ASSERT_NE(lock, nullptr);
+  for (int i = 0; i < 100000; ++i) {
+    lock->lock();
+    lock->unlock();
+  }
+}
+
+TEST_P(AllLocksTest, CriticalSectionStateIsConsistent) {
+  auto lock = MakeLock(GetParam());
+  ASSERT_NE(lock, nullptr);
+  // Two variables updated together under the lock must always be observed
+  // equal inside the critical section.
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  std::atomic<bool> mismatch{false};
+  constexpr int kThreads = 6;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 3000; ++i) {
+        lock->lock();
+        if (a != b) {
+          mismatch.store(true);
+        }
+        ++a;
+        ++b;
+        lock->unlock();
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_FALSE(mismatch.load());
+  EXPECT_EQ(a, b);
+}
+
+TEST_P(AllLocksTest, NestedDistinctLocks) {
+  auto outer = MakeLock(GetParam());
+  auto inner = MakeLock(GetParam());
+  ASSERT_NE(outer, nullptr);
+  std::uint64_t counter = 0;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 2000; ++i) {
+        outer->lock();
+        inner->lock();
+        ++counter;
+        inner->unlock();
+        outer->unlock();
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(counter, 4u * 2000u);
+}
+
+TEST_P(AllLocksTest, OversubscribedProgress) {
+  // More threads than cores: parking-based locks must keep making progress
+  // and spin-based locks must survive preemption.
+  auto lock = MakeLock(GetParam());
+  ASSERT_NE(lock, nullptr);
+  const int threads_count = 2 * static_cast<int>(std::thread::hardware_concurrency());
+  std::uint64_t counter = 0;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < threads_count; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 300; ++i) {
+        lock->lock();
+        ++counter;
+        lock->unlock();
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(counter, static_cast<std::uint64_t>(threads_count) * 300u);
+}
+
+TEST_P(AllLocksTest, RecorderSeesEveryAdmission) {
+  auto lock = MakeLock(GetParam());
+  ASSERT_NE(lock, nullptr);
+  AdmissionLog log(1 << 16);
+  lock->set_recorder(&log);
+  constexpr int kThreads = 4;
+  constexpr int kIters = 1000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        lock->lock();
+        lock->unlock();
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  if (GetParam() == "std") {
+    // std::mutex adapter has no recorder hook; nothing recorded.
+    EXPECT_EQ(log.TotalAdmissions(), 0u);
+  } else {
+    EXPECT_EQ(log.TotalAdmissions(), static_cast<std::uint64_t>(kThreads) * kIters);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Registry, AllLocksTest, ::testing::ValuesIn(RealLockNames()),
+                         [](const ::testing::TestParamInfo<std::string>& param_info) {
+                           std::string name = param_info.param;
+                           for (char& c : name) {
+                             if (c == '-') {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+// ---------------------------------------------------------------------------
+// Admission-order tests. Waiters enqueue in a controlled order (spaced by
+// generous sleeps while the main thread holds the lock); on release, queue
+// locks must admit FIFO and LIFO-CR must admit LIFO.
+
+template <typename Lock>
+std::vector<int> OrderedArrivalAdmissions(Lock& lock, int waiters) {
+  std::vector<int> admissions;
+  std::atomic<std::uint32_t> admitted{0};
+  lock.lock();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < waiters; ++t) {
+    threads.emplace_back([&, t] {
+      lock.lock();
+      admissions.push_back(t);  // Serialized by the lock itself.
+      admitted.fetch_add(1);
+      lock.unlock();
+    });
+    // Give thread t time to enqueue before spawning t+1.
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  lock.unlock();
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(admitted.load(), static_cast<std::uint32_t>(waiters));
+  return admissions;
+}
+
+TEST(AdmissionOrder, McsIsFifo) {
+  McsSpinLock lock;
+  const auto order = OrderedArrivalAdmissions(lock, 4);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(AdmissionOrder, McsStpIsFifo) {
+  McsStpLock lock;
+  const auto order = OrderedArrivalAdmissions(lock, 4);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(AdmissionOrder, ClhIsFifo) {
+  ClhLock lock;
+  const auto order = OrderedArrivalAdmissions(lock, 4);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(AdmissionOrder, TicketIsFifo) {
+  TicketLock lock;
+  const auto order = OrderedArrivalAdmissions(lock, 4);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(AdmissionOrder, LifoCrIsLifo) {
+  // Fairness disabled so the order is purely LIFO.
+  LifoCrSpinLock lock(LifoCrOptions{.fairness_one_in = 0});
+  const auto order = OrderedArrivalAdmissions(lock, 4);
+  EXPECT_EQ(order, (std::vector<int>{3, 2, 1, 0}));
+}
+
+// MCSCR with one cull per unlock and three queued waiters 1,2,3: the first
+// unlock culls waiter 0 (the immediate successor) and grants waiter 1; the
+// next grants waiter 2 (tail, never culled); the final unlock finds an
+// empty chain and re-provisions waiter 0 from the passive set — the
+// work-conservation path.
+TEST(AdmissionOrder, McscrCullsAndReprovisions) {
+  McscrSpinLock lock(McscrOptions{.fairness_one_in = 0, .cull_limit = 1});
+  const auto order = OrderedArrivalAdmissions(lock, 3);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 0}));
+  EXPECT_EQ(lock.culls(), 1u);
+  EXPECT_EQ(lock.reprovisions(), 1u);
+  EXPECT_EQ(lock.passive_set_size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// try_lock semantics for the algorithms that provide one.
+
+template <typename Lock>
+void ExpectTryLockSemantics(Lock& lock) {
+  EXPECT_TRUE(lock.try_lock());
+  std::atomic<bool> failed{false};
+  std::thread t([&] { failed.store(!lock.try_lock()); });
+  t.join();
+  EXPECT_TRUE(failed.load());
+  lock.unlock();
+  EXPECT_TRUE(lock.try_lock());
+  lock.unlock();
+}
+
+TEST(TryLock, Tas) {
+  TtasLock lock;
+  ExpectTryLockSemantics(lock);
+}
+
+TEST(TryLock, Ticket) {
+  TicketLock lock;
+  ExpectTryLockSemantics(lock);
+}
+
+TEST(TryLock, Mcs) {
+  McsSpinLock lock;
+  ExpectTryLockSemantics(lock);
+}
+
+TEST(TryLock, Mcscr) {
+  McscrStpLock lock;
+  ExpectTryLockSemantics(lock);
+}
+
+TEST(TryLock, LifoCr) {
+  LifoCrStpLock lock;
+  ExpectTryLockSemantics(lock);
+}
+
+TEST(TryLock, PthreadStyle) {
+  PthreadStyleMutex lock;
+  ExpectTryLockSemantics(lock);
+}
+
+TEST(TryLock, TicketRefusesWhenWaitersQueued) {
+  // try_lock on a ticket lock must not jump the queue.
+  TicketLock lock;
+  lock.lock();
+  std::atomic<bool> acquired{false};
+  std::thread waiter([&] {
+    lock.lock();
+    acquired.store(true);
+    lock.unlock();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(lock.try_lock());  // A waiter holds the next ticket.
+  lock.unlock();
+  waiter.join();
+  EXPECT_TRUE(acquired.load());
+}
+
+// ---------------------------------------------------------------------------
+// Algorithm-specific behaviours.
+
+TEST(PthreadStyle, UnfairBargingIsPossibleButProgressHolds) {
+  PthreadStyleMutex lock;
+  std::uint64_t counter = 0;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 5000; ++i) {
+        lock.lock();
+        ++counter;
+        lock.unlock();
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(counter, 8u * 5000u);
+}
+
+TEST(PthreadStyle, SpinnerCapAndBudgetConfigurable) {
+  PthreadStyleMutex lock;
+  lock.set_spin_budget(1);   // Force almost everyone into the park path.
+  lock.set_max_spinners(1);
+  std::uint64_t counter = 0;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 6; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 2000; ++i) {
+        lock.lock();
+        ++counter;
+        lock.unlock();
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(counter, 6u * 2000u);
+}
+
+TEST(Mcs, SpinBudgetConfigurable) {
+  McsStpLock lock;
+  lock.set_spin_budget(0);  // Park immediately: pure ParkPolicy behaviour.
+  std::uint64_t counter = 0;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 2000; ++i) {
+        lock.lock();
+        ++counter;
+        lock.unlock();
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(counter, 4u * 2000u);
+}
+
+TEST(Clh, ManySequentialThreads) {
+  // Node recycling across threads must not corrupt state.
+  ClhLock lock;
+  for (int round = 0; round < 20; ++round) {
+    std::thread t([&] {
+      lock.lock();
+      lock.unlock();
+    });
+    t.join();
+  }
+}
+
+}  // namespace
+}  // namespace malthus

@@ -1,0 +1,185 @@
+// Unit tests for the fairness metrics: LWSS (including the paper's worked
+// example), MTTR, Gini coefficient, RSTDDEV, and the admission log.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/metrics/admission_log.h"
+#include "src/metrics/fairness.h"
+
+namespace malthus {
+namespace {
+
+// Paper §1: admission history A B C A B C D A E (threads 0..4); the LWSS
+// for the period 0-5 inclusive is {A,B,C} = 3.
+TEST(Lwss, PaperWorkedExample) {
+  const std::vector<std::uint32_t> history = {0, 1, 2, 0, 1, 2, 3, 0, 4};
+  EXPECT_EQ(WindowLwss(history, 0, 6), 3u);
+  EXPECT_EQ(WindowLwss(history, 0, 9), 5u);
+}
+
+TEST(Lwss, EmptyHistory) {
+  EXPECT_EQ(WindowLwss({}, 0, 10), 0u);
+  EXPECT_DOUBLE_EQ(AverageLwss({}, 1000), 0.0);
+}
+
+TEST(Lwss, SingleThreadIsOne) {
+  const std::vector<std::uint32_t> history(5000, 7);
+  EXPECT_DOUBLE_EQ(AverageLwss(history, 1000), 1.0);
+}
+
+TEST(Lwss, RoundRobinEqualsThreadCount) {
+  std::vector<std::uint32_t> history;
+  for (int i = 0; i < 4000; ++i) {
+    history.push_back(static_cast<std::uint32_t>(i % 8));
+  }
+  EXPECT_DOUBLE_EQ(AverageLwss(history, 1000), 8.0);
+}
+
+TEST(Lwss, WindowsAreDisjointAndAbutting) {
+  // First window all thread 0, second window all thread 1 => average 1.
+  std::vector<std::uint32_t> history(1000, 0);
+  history.insert(history.end(), 1000, 1);
+  EXPECT_DOUBLE_EQ(AverageLwss(history, 1000), 1.0);
+  // Window of 2000 sees both threads.
+  EXPECT_DOUBLE_EQ(AverageLwss(history, 2000), 2.0);
+}
+
+TEST(Lwss, CrScheduleBeatsFifoSchedule) {
+  // 16 threads, FIFO round robin vs CR cycling over 4.
+  std::vector<std::uint32_t> fifo;
+  std::vector<std::uint32_t> cr;
+  for (int i = 0; i < 8000; ++i) {
+    fifo.push_back(static_cast<std::uint32_t>(i % 16));
+    cr.push_back(static_cast<std::uint32_t>(i % 4));
+  }
+  EXPECT_GT(AverageLwss(fifo, 1000), AverageLwss(cr, 1000));
+}
+
+TEST(Mttr, RoundRobin) {
+  std::vector<std::uint32_t> history;
+  for (int i = 0; i < 900; ++i) {
+    history.push_back(static_cast<std::uint32_t>(i % 3));
+  }
+  // Each thread reacquires exactly 3 admissions later.
+  EXPECT_DOUBLE_EQ(MedianTimeToReacquire(history), 3.0);
+}
+
+TEST(Mttr, NoReacquisitionIsZero) {
+  EXPECT_DOUBLE_EQ(MedianTimeToReacquire({0, 1, 2, 3}), 0.0);
+}
+
+TEST(Mttr, SingleThreadIsOne) {
+  const std::vector<std::uint32_t> history(100, 5);
+  EXPECT_DOUBLE_EQ(MedianTimeToReacquire(history), 1.0);
+}
+
+TEST(Mttr, SkewedHistory) {
+  // Thread 0 dominates; thread 1 appears rarely.
+  std::vector<std::uint32_t> history;
+  for (int block = 0; block < 10; ++block) {
+    for (int i = 0; i < 99; ++i) {
+      history.push_back(0);
+    }
+    history.push_back(1);
+  }
+  // Median TTR is dominated by thread 0's distance-1 reacquisitions.
+  EXPECT_DOUBLE_EQ(MedianTimeToReacquire(history), 1.0);
+}
+
+TEST(Gini, PerfectEqualityIsZero) {
+  EXPECT_DOUBLE_EQ(GiniCoefficient({5, 5, 5, 5}), 0.0);
+}
+
+TEST(Gini, MaximalInequalityApproachesOne) {
+  // One participant holds everything: G = (n-1)/n.
+  const double g = GiniCoefficient({0, 0, 0, 100});
+  EXPECT_NEAR(g, 3.0 / 4.0, 1e-9);
+}
+
+TEST(Gini, KnownTwoValueCase) {
+  // {1, 3}: mean 2, G = |1-3|*1 / (2*n^2*mean) summed pairs = 0.25.
+  EXPECT_NEAR(GiniCoefficient({1, 3}), 0.25, 1e-9);
+}
+
+TEST(Gini, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(GiniCoefficient({}), 0.0);
+  EXPECT_DOUBLE_EQ(GiniCoefficient({42}), 0.0);
+  EXPECT_DOUBLE_EQ(GiniCoefficient({0, 0, 0}), 0.0);
+}
+
+TEST(Gini, ScaleInvariant) {
+  const double g1 = GiniCoefficient({1, 2, 3, 4});
+  const double g2 = GiniCoefficient({10, 20, 30, 40});
+  EXPECT_NEAR(g1, g2, 1e-12);
+}
+
+TEST(Rstddev, UniformIsZero) { EXPECT_DOUBLE_EQ(RelativeStdDev({3, 3, 3}), 0.0); }
+
+TEST(Rstddev, KnownValue) {
+  // {2, 4}: mean 3, population stddev 1, rstddev 1/3.
+  EXPECT_NEAR(RelativeStdDev({2, 4}), 1.0 / 3.0, 1e-12);
+}
+
+TEST(Rstddev, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(RelativeStdDev({}), 0.0);
+  EXPECT_DOUBLE_EQ(RelativeStdDev({0, 0}), 0.0);
+}
+
+TEST(AdmissionLog, RecordsHistoryAndCounts) {
+  AdmissionLog log(16);
+  log.Record(0);
+  log.Record(1);
+  log.Record(0);
+  const auto history = log.History();
+  ASSERT_EQ(history.size(), 3u);
+  EXPECT_EQ(history[0], 0u);
+  EXPECT_EQ(history[1], 1u);
+  EXPECT_EQ(history[2], 0u);
+  const auto counts = log.CountsPerThread();
+  ASSERT_EQ(counts.size(), 2u);
+  EXPECT_EQ(log.TotalAdmissions(), 3u);
+}
+
+TEST(AdmissionLog, CountersKeepGoingWhenHistoryFull) {
+  AdmissionLog log(4);
+  for (int i = 0; i < 10; ++i) {
+    log.Record(static_cast<std::uint32_t>(i % 2));
+  }
+  EXPECT_EQ(log.History().size(), 4u);
+  EXPECT_EQ(log.TotalAdmissions(), 10u);
+}
+
+TEST(AdmissionLog, HandlesLargeThreadIds) {
+  AdmissionLog log(8);
+  log.Record(3000);  // Forces counts_ growth.
+  log.Record(3000);
+  EXPECT_EQ(log.TotalAdmissions(), 2u);
+  EXPECT_EQ(log.CountsPerThread().size(), 1u);
+}
+
+TEST(AdmissionLog, ReportComputesAllMetrics) {
+  AdmissionLog log(1 << 12);
+  for (int i = 0; i < 3000; ++i) {
+    log.Record(static_cast<std::uint32_t>(i % 4));
+  }
+  const FairnessReport r = log.Report(1000);
+  EXPECT_DOUBLE_EQ(r.average_lwss, 4.0);
+  EXPECT_DOUBLE_EQ(r.mttr, 4.0);
+  EXPECT_NEAR(r.gini, 0.0, 1e-9);
+  EXPECT_NEAR(r.rstddev, 0.0, 1e-9);
+  EXPECT_EQ(r.participants, 4u);
+  EXPECT_FALSE(r.ToString().empty());
+}
+
+TEST(AdmissionLog, ResetClearsEverything) {
+  AdmissionLog log(8);
+  log.Record(1);
+  log.Reset();
+  EXPECT_EQ(log.TotalAdmissions(), 0u);
+  EXPECT_TRUE(log.History().empty());
+  EXPECT_TRUE(log.CountsPerThread().empty());
+}
+
+}  // namespace
+}  // namespace malthus

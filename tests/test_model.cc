@@ -1,0 +1,101 @@
+// Analytic model tests: saturation arithmetic, the Figure-1 shape (peak <=
+// saturation, collapse without CR, plateau with CR), and boundary cases.
+#include <gtest/gtest.h>
+
+#include "src/model/throughput_model.h"
+
+namespace malthus {
+namespace {
+
+ModelParams PaperParams() {
+  return ModelParams{};  // CS=1us NCS=5us, 8MB LLC, 1MB footprints.
+}
+
+TEST(Model, SaturationMatchesPaperExample) {
+  // Paper §1: CS=1us NCS=5us -> saturation at 6 threads.
+  ThroughputModel model(PaperParams());
+  EXPECT_EQ(model.Saturation(), 6);
+}
+
+TEST(Model, CurvesCoincideBelowPressureOnset) {
+  ThroughputModel model(PaperParams());
+  for (int n = 1; n <= 6; ++n) {
+    EXPECT_DOUBLE_EQ(model.ThroughputWithoutCr(n), model.ThroughputWithCr(n)) << n;
+  }
+}
+
+TEST(Model, ThroughputRisesLinearlyBeforeSaturation) {
+  ModelParams p = PaperParams();
+  p.ncs_footprint_bytes = 0;  // No cache pressure at all.
+  ThroughputModel model(p);
+  const double t1 = model.ThroughputWithoutCr(1);
+  EXPECT_NEAR(model.ThroughputWithoutCr(3), 3 * t1, 1e-6);
+  EXPECT_NEAR(model.ThroughputWithoutCr(5), 5 * t1, 1e-6);
+}
+
+TEST(Model, WithoutPressureCurveIsFlatPastSaturation) {
+  ModelParams p = PaperParams();
+  p.ncs_footprint_bytes = 0;
+  ThroughputModel model(p);
+  const double sat = model.ThroughputWithoutCr(6);
+  EXPECT_NEAR(model.ThroughputWithoutCr(32), sat, 1e-6);
+}
+
+TEST(Model, CollapseBeyondCapacityWithoutCr) {
+  ThroughputModel model(PaperParams());
+  // 8 threads: footprint 9MB > 8MB -> CS inflates -> throughput drops below
+  // the saturated level.
+  EXPECT_LT(model.ThroughputWithoutCr(16), model.ThroughputWithoutCr(6));
+  // And it keeps degrading (until the inflation clamp).
+  EXPECT_LE(model.ThroughputWithoutCr(16), model.ThroughputWithoutCr(10));
+}
+
+TEST(Model, CrHoldsThePlateau) {
+  ThroughputModel model(PaperParams());
+  const double plateau = model.ThroughputWithCr(6);
+  for (int n = 7; n <= 64; n *= 2) {
+    EXPECT_NEAR(model.ThroughputWithCr(n), plateau, plateau * 1e-9) << n;
+  }
+}
+
+TEST(Model, CrNeverWorseThanNoCr) {
+  // "Performance diode": CR does no harm anywhere on the curve.
+  ThroughputModel model(PaperParams());
+  for (int n = 1; n <= 128; ++n) {
+    EXPECT_GE(model.ThroughputWithCr(n) + 1e-9, model.ThroughputWithoutCr(n)) << n;
+  }
+}
+
+TEST(Model, PeakNeverExceedsSaturation) {
+  ThroughputModel model(PaperParams());
+  EXPECT_LE(model.PeakThreads(128), model.Saturation());
+}
+
+TEST(Model, PeakBelowSaturationWhenPressureBitesEarly) {
+  ModelParams p = PaperParams();
+  p.llc_bytes = 3.0 * (1u << 20);  // Tiny LLC: pressure from ~2 threads.
+  ThroughputModel model(p);
+  EXPECT_LT(model.PeakThreads(128), model.Saturation());
+}
+
+TEST(Model, EffectiveCsClampsAtMaxInflation) {
+  ThroughputModel model(PaperParams());
+  const double at_1000 = model.EffectiveCsNs(1000);
+  const double at_2000 = model.EffectiveCsNs(2000);
+  EXPECT_DOUBLE_EQ(at_1000, at_2000);
+  EXPECT_NEAR(at_1000, PaperParams().cs_ns * PaperParams().max_cs_inflation, 1e-9);
+}
+
+TEST(Model, CurveHasExpectedLengthAndOrdering) {
+  ThroughputModel model(PaperParams());
+  const auto curve = model.Curve(50);
+  ASSERT_EQ(curve.size(), 50u);
+  for (const auto& point : curve) {
+    EXPECT_GE(point.with_cr + 1e-9, point.without_cr);
+  }
+  EXPECT_EQ(curve.front().threads, 1);
+  EXPECT_EQ(curve.back().threads, 50);
+}
+
+}  // namespace
+}  // namespace malthus

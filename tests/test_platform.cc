@@ -1,0 +1,245 @@
+// Unit tests for the platform substrate: Parker (park/unpark semantics),
+// thread registry, rusage snapshots, sysinfo, and the xorshift RNG.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "src/platform/align.h"
+#include "src/platform/park.h"
+#include "src/platform/rusage.h"
+#include "src/platform/sysinfo.h"
+#include "src/platform/thread_registry.h"
+#include "src/rng/xorshift.h"
+
+namespace malthus {
+namespace {
+
+TEST(Parker, UnparkBeforeParkReturnsImmediately) {
+  Parker p;
+  p.Unpark();
+  EXPECT_TRUE(p.PermitPending());
+  const auto start = std::chrono::steady_clock::now();
+  p.Park();  // Consumes the pending permit without blocking.
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(elapsed, std::chrono::milliseconds(50));
+  EXPECT_FALSE(p.PermitPending());
+}
+
+TEST(Parker, RedundantUnparksCollapseToOnePermit) {
+  Parker p;
+  p.Unpark();
+  p.Unpark();
+  p.Unpark();
+  p.Park();  // One permit consumed...
+  EXPECT_FALSE(p.PermitPending());  // ...and nothing left.
+}
+
+TEST(Parker, ParkBlocksUntilUnpark) {
+  Parker p;
+  std::atomic<bool> woke{false};
+  std::thread t([&] {
+    p.Park();
+    woke.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(woke.load());
+  p.Unpark();
+  t.join();
+  EXPECT_TRUE(woke.load());
+}
+
+TEST(Parker, ParkForTimesOutWithoutPermit) {
+  Parker p;
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(p.ParkFor(std::chrono::milliseconds(20)));
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(elapsed, std::chrono::milliseconds(15));
+}
+
+TEST(Parker, ParkForConsumesPendingPermit) {
+  Parker p;
+  p.Unpark();
+  EXPECT_TRUE(p.ParkFor(std::chrono::milliseconds(20)));
+}
+
+TEST(Parker, ParkForWokenByConcurrentUnpark) {
+  Parker p;
+  std::thread t([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    p.Unpark();
+  });
+  EXPECT_TRUE(p.ParkFor(std::chrono::seconds(5)));
+  t.join();
+}
+
+TEST(Parker, PermitPostedAfterTimeoutStaysPending) {
+  Parker p;
+  EXPECT_FALSE(p.ParkFor(std::chrono::milliseconds(5)));
+  p.Unpark();
+  EXPECT_TRUE(p.PermitPending());
+  p.Park();  // Fast path.
+  EXPECT_FALSE(p.PermitPending());
+}
+
+TEST(Parker, FastPathCounterTracksPendingConsumption) {
+  Parker p;
+  p.Unpark();
+  p.Park();
+  EXPECT_EQ(p.fast_path_parks(), 1u);
+  EXPECT_EQ(p.kernel_waits(), 0u);
+}
+
+TEST(Parker, StressManyHandoffs) {
+  Parker ping;
+  Parker pong;
+  constexpr int kRounds = 20000;
+  std::thread t([&] {
+    for (int i = 0; i < kRounds; ++i) {
+      ping.Park();
+      pong.Unpark();
+    }
+  });
+  for (int i = 0; i < kRounds; ++i) {
+    ping.Unpark();
+    pong.Park();
+  }
+  t.join();
+}
+
+TEST(ThreadRegistry, IdsAreDenseAndStable) {
+  const ThreadId mine = Self().id;
+  EXPECT_EQ(Self().id, mine);  // Stable on repeat calls.
+  ThreadId other = kInvalidThreadId;
+  std::thread t([&] { other = Self().id; });
+  t.join();
+  EXPECT_NE(other, kInvalidThreadId);
+  EXPECT_NE(other, mine);
+  EXPECT_GE(RegisteredThreadCount(), 2u);
+}
+
+TEST(ThreadRegistry, ParkerIsPerThread) {
+  Parker* mine = &Self().parker;
+  Parker* other = nullptr;
+  std::thread t([&] { other = &Self().parker; });
+  t.join();
+  EXPECT_NE(mine, other);
+}
+
+TEST(Sysinfo, CpuCountPositive) { EXPECT_GE(LogicalCpuCount(), 1); }
+
+TEST(Sysinfo, LlcSizePlausible) {
+  const std::size_t llc = LastLevelCacheBytes();
+  EXPECT_GE(llc, 256u * 1024);         // At least 256 KB.
+  EXPECT_LE(llc, 4096ull << 20);       // At most 4 GB.
+}
+
+TEST(Rusage, CapturesCpuTime) {
+  const UsageSnapshot begin = CaptureUsage();
+  // Burn enough CPU to exceed the coarse (10 ms) rusage granularity.
+  volatile std::uint64_t sink = 0;
+  for (long i = 0; i < 80000000L; ++i) {
+    sink = sink + static_cast<std::uint64_t>(i);
+  }
+  const UsageSnapshot end = CaptureUsage();
+  const UsageDelta d = DiffUsage(begin, end, 0.05);
+  EXPECT_GT(d.cpu_seconds, 0.0);
+  EXPECT_GT(d.CpuUtilization(), 0.0);
+  EXPECT_GT(d.ModelWattsAboveIdle(), 0.0);
+}
+
+TEST(Rusage, KernelParkCounterTracksVoluntarySwitches) {
+  // getrusage's ru_nvcsw is not populated on all kernels (sandboxes report
+  // 0), so lock-induced voluntary context switches are counted at the
+  // source: every Park that blocks in the kernel.
+  const std::uint64_t before = TotalKernelParks();
+  Parker p;
+  std::thread t([&] { p.Park(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  p.Unpark();
+  t.join();
+  EXPECT_GE(TotalKernelParks(), before + 1);
+}
+
+TEST(Align, CacheAlignedHasNoFalseSharing) {
+  CacheAligned<std::uint64_t> a[2];
+  const auto* p0 = reinterpret_cast<const char*>(&a[0]);
+  const auto* p1 = reinterpret_cast<const char*>(&a[1]);
+  EXPECT_GE(static_cast<std::size_t>(p1 - p0), kCacheLineSize);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p0) % kCacheLineSize, 0u);
+}
+
+TEST(XorShift, DeterministicForSeed) {
+  XorShift64 a(123);
+  XorShift64 b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(XorShift, DifferentSeedsDiverge) {
+  XorShift64 a(1);
+  XorShift64 b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += (a.Next() == b.Next()) ? 1 : 0;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(XorShift, NextBelowRespectsBound) {
+  XorShift64 rng(99);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBelow(37), 37u);
+  }
+}
+
+TEST(XorShift, UniformityChiSquaredSane) {
+  XorShift64 rng(7);
+  constexpr int kBuckets = 16;
+  constexpr int kSamples = 160000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kSamples; ++i) {
+    ++counts[rng.NextBelow(kBuckets)];
+  }
+  const double expected = static_cast<double>(kSamples) / kBuckets;
+  double chi2 = 0;
+  for (const int c : counts) {
+    chi2 += (c - expected) * (c - expected) / expected;
+  }
+  // 15 dof; P(chi2 > 37) < 0.002 for a uniform source.
+  EXPECT_LT(chi2, 37.0);
+}
+
+TEST(XorShift, BernoulliOneInMatchesRate) {
+  XorShift64 rng(11);
+  constexpr int kTrials = 200000;
+  int hits = 0;
+  for (int i = 0; i < kTrials; ++i) {
+    hits += rng.BernoulliOneIn(100) ? 1 : 0;
+  }
+  EXPECT_NEAR(hits, kTrials / 100, kTrials / 100 / 3);
+}
+
+TEST(XorShift, BernoulliEdgeCases) {
+  XorShift64 rng(5);
+  EXPECT_FALSE(rng.BernoulliOneIn(0));  // "never"
+  EXPECT_TRUE(rng.BernoulliOneIn(1));   // "always"
+  EXPECT_FALSE(rng.BernoulliP(0.0));
+  EXPECT_TRUE(rng.BernoulliP(1.0));
+}
+
+TEST(XorShift, BernoulliPMatchesRate) {
+  XorShift64 rng(17);
+  constexpr int kTrials = 200000;
+  int hits = 0;
+  for (int i = 0; i < kTrials; ++i) {
+    hits += rng.BernoulliP(0.25) ? 1 : 0;
+  }
+  EXPECT_NEAR(hits, kTrials / 4, kTrials / 4 / 10);
+}
+
+}  // namespace
+}  // namespace malthus

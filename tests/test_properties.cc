@@ -1,0 +1,321 @@
+// Property-style parameterized sweeps (TEST_P / INSTANTIATE_TEST_SUITE_P):
+//   * every CR lock x thread count: exclusion + no-starvation;
+//   * condvar append-probability sweep: no waiter is lost at any P;
+//   * cache simulator geometry sweep: accounting invariants;
+//   * analytic model parameter sweep: peak <= saturation, CR no-harm;
+//   * splay heap differential test against a reference allocator;
+//   * failure injection: spurious-unpark storms against parking locks.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <map>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "src/alloc/splay_heap.h"
+#include "src/cachesim/cache.h"
+#include "src/core/cr_condvar.h"
+#include "src/locks/any_lock.h"
+#include "src/locks/tas.h"
+#include "src/model/throughput_model.h"
+#include "src/platform/thread_registry.h"
+#include "src/rng/xorshift.h"
+
+namespace malthus {
+namespace {
+
+// ---------------------------------------------------------------------------
+// CR locks: exclusion + no-starvation across thread counts.
+
+using CrLockParam = std::tuple<std::string, int>;
+
+class CrLockProperty : public ::testing::TestWithParam<CrLockParam> {};
+
+TEST_P(CrLockProperty, ExclusionAndNoStarvation) {
+  const auto& [name, threads] = GetParam();
+  auto lock = MakeLock(name);
+  ASSERT_NE(lock, nullptr);
+  std::uint64_t counter = 0;
+  std::atomic<bool> stop{false};
+  std::vector<std::uint64_t> acquires(static_cast<std::size_t>(threads), 0);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      std::uint64_t local = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        lock->lock();
+        counter = counter + 1;
+        lock->unlock();
+        ++local;
+      }
+      acquires[static_cast<std::size_t>(t)] = local;
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(250));
+  stop.store(true);
+  for (auto& w : workers) {
+    w.join();
+  }
+  std::uint64_t total = 0;
+  for (std::size_t t = 0; t < acquires.size(); ++t) {
+    EXPECT_GT(acquires[t], 0u) << name << ": thread " << t << " starved";
+    total += acquires[t];
+  }
+  EXPECT_EQ(counter, total) << name << ": lost updates — exclusion violated";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CrLockProperty,
+    ::testing::Combine(::testing::Values("mcscr-s", "mcscr-stp", "lifocr-s", "lifocr-stp",
+                                         "loiter", "mcscrn-stp"),
+                       ::testing::Values(4, 16)),
+    [](const ::testing::TestParamInfo<CrLockParam>& pinfo) {
+      std::string name = std::get<0>(pinfo.param) + "_t" + std::to_string(std::get<1>(pinfo.param));
+      for (char& c : name) {
+        if (c == '-') {
+          c = '_';
+        }
+      }
+      return name;
+    });
+
+// ---------------------------------------------------------------------------
+// Condvar discipline sweep: no waiter lost at any append probability.
+
+class CondVarDiscipline : public ::testing::TestWithParam<double> {};
+
+TEST_P(CondVarDiscipline, EveryWaiterEventuallyWoken) {
+  TtasLock lock;
+  CrCondVar cv(CrCondVarOptions{.append_probability = GetParam()});
+  constexpr int kWaiters = 12;
+  std::atomic<int> woken{0};
+  std::vector<std::thread> waiters;
+  for (int i = 0; i < kWaiters; ++i) {
+    waiters.emplace_back([&] {
+      lock.lock();
+      cv.Wait(lock);
+      woken.fetch_add(1);
+      lock.unlock();
+    });
+  }
+  while (cv.WaiterCount() != kWaiters) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  for (int i = 0; i < kWaiters; ++i) {
+    cv.Signal();
+  }
+  for (auto& w : waiters) {
+    w.join();
+  }
+  EXPECT_EQ(woken.load(), kWaiters);
+  EXPECT_EQ(cv.WaiterCount(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(PSweep, CondVarDiscipline,
+                         ::testing::Values(0.0, 0.001, 0.25, 0.5, 0.75, 1.0),
+                         [](const ::testing::TestParamInfo<double>& pinfo) {
+                           return "p" + std::to_string(static_cast<int>(pinfo.param * 1000));
+                         });
+
+// ---------------------------------------------------------------------------
+// Cache simulator geometry sweep.
+
+using CacheGeom = std::tuple<std::size_t, std::uint32_t>;  // size, ways
+
+class CacheSimProperty : public ::testing::TestWithParam<CacheGeom> {};
+
+TEST_P(CacheSimProperty, AccountingInvariants) {
+  const auto& [size, ways] = GetParam();
+  CacheConfig config;
+  config.size_bytes = size;
+  config.ways = ways;
+  config.line_bytes = 64;
+  CacheSim cache(config);
+  XorShift64 rng(99);
+  constexpr int kAccesses = 50000;
+  for (int i = 0; i < kAccesses; ++i) {
+    cache.Access(static_cast<std::uint32_t>(rng.NextBelow(4)), rng.NextBelow(size * 4));
+  }
+  const CacheStats& stats = cache.TotalStats();
+  EXPECT_EQ(stats.Accesses(), static_cast<std::uint64_t>(kAccesses));
+  EXPECT_EQ(stats.hits + stats.Misses(), stats.Accesses());
+  EXPECT_LE(stats.MissRate(), 1.0);
+  // Per-CPU stats sum to the totals.
+  CacheStats sum;
+  for (std::uint32_t cpu = 0; cpu < 4; ++cpu) {
+    const CacheStats& s = cache.CpuStats(cpu);
+    sum.hits += s.hits;
+    sum.cold_misses += s.cold_misses;
+    sum.self_misses += s.self_misses;
+    sum.extrinsic_misses += s.extrinsic_misses;
+  }
+  EXPECT_EQ(sum.Accesses(), stats.Accesses());
+  EXPECT_EQ(sum.hits, stats.hits);
+}
+
+TEST_P(CacheSimProperty, ResidentWorkingSetAllHits) {
+  const auto& [size, ways] = GetParam();
+  CacheConfig config;
+  config.size_bytes = size;
+  config.ways = ways;
+  CacheSim cache(config);
+  // Touch exactly half the capacity, uniformly; second pass must all hit.
+  for (std::uint64_t addr = 0; addr < size / 2; addr += 64) {
+    cache.Access(0, addr);
+  }
+  cache.ResetStats();
+  for (std::uint64_t addr = 0; addr < size / 2; addr += 64) {
+    cache.Access(0, addr);
+  }
+  EXPECT_EQ(cache.TotalStats().Misses(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometry, CacheSimProperty,
+                         ::testing::Values(CacheGeom{32 * 1024, 2}, CacheGeom{64 * 1024, 4},
+                                           CacheGeom{256 * 1024, 8}, CacheGeom{1 << 20, 16}),
+                         [](const ::testing::TestParamInfo<CacheGeom>& pinfo) {
+                           return "s" + std::to_string(std::get<0>(pinfo.param) / 1024) + "k_w" +
+                                  std::to_string(std::get<1>(pinfo.param));
+                         });
+
+// ---------------------------------------------------------------------------
+// Analytic model parameter sweep.
+
+using ModelGeom = std::tuple<double, double>;  // cs_ns, ncs_ns
+
+class ModelProperty : public ::testing::TestWithParam<ModelGeom> {};
+
+TEST_P(ModelProperty, PeakNeverExceedsSaturationAndCrDoesNoHarm) {
+  const auto& [cs, ncs] = GetParam();
+  ModelParams params;
+  params.cs_ns = cs;
+  params.ncs_ns = ncs;
+  ThroughputModel model(params);
+  EXPECT_LE(model.PeakThreads(256), model.Saturation());
+  for (int n = 1; n <= 256; n *= 2) {
+    EXPECT_GE(model.ThroughputWithCr(n) + 1e-9, model.ThroughputWithoutCr(n))
+        << "cs=" << cs << " ncs=" << ncs << " n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ratios, ModelProperty,
+                         ::testing::Values(ModelGeom{1000, 1000}, ModelGeom{1000, 5000},
+                                           ModelGeom{500, 10000}, ModelGeom{2000, 2000},
+                                           ModelGeom{100, 20000}),
+                         [](const ::testing::TestParamInfo<ModelGeom>& pinfo) {
+                           return "cs" + std::to_string(static_cast<int>(std::get<0>(pinfo.param))) +
+                                  "_ncs" + std::to_string(static_cast<int>(std::get<1>(pinfo.param)));
+                         });
+
+// ---------------------------------------------------------------------------
+// Splay heap differential test against a reference model.
+
+TEST(SplayHeapDifferential, MatchesReferenceSemantics) {
+  SplayHeap heap(1 << 20);
+  XorShift64 rng(31337);
+  // Reference: payload pointer -> (size, fill byte).
+  std::map<void*, std::pair<std::size_t, unsigned char>> live;
+  for (int step = 0; step < 30000; ++step) {
+    if (live.empty() || rng.NextBelow(100) < 55) {
+      const std::size_t n = 1 + rng.NextBelow(1500);
+      void* p = heap.Allocate(n);
+      if (p == nullptr) {
+        continue;  // Exhaustion is legal.
+      }
+      ASSERT_EQ(live.count(p), 0u) << "allocator returned a live block";
+      const auto fill = static_cast<unsigned char>(rng.NextBelow(256));
+      std::memset(p, fill, n);
+      live.emplace(p, std::make_pair(n, fill));
+    } else {
+      auto it = live.begin();
+      std::advance(it, static_cast<long>(rng.NextBelow(live.size())));
+      const auto [size, fill] = it->second;
+      const auto* bytes = static_cast<const unsigned char*>(it->first);
+      for (std::size_t i = 0; i < size; ++i) {
+        ASSERT_EQ(bytes[i], fill) << "block corrupted before free";
+      }
+      heap.Free(it->first);
+      live.erase(it);
+    }
+  }
+  for (const auto& [p, meta] : live) {
+    heap.Free(p);
+  }
+  EXPECT_TRUE(heap.CheckConsistency());
+}
+
+// ---------------------------------------------------------------------------
+// Failure injection: spurious-unpark storms. All parking paths must treat a
+// permit as advisory (re-check conditions), so random unparks delivered to
+// contenders must never break exclusion or strand anyone.
+
+class SpuriousWakeStorm : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SpuriousWakeStorm, ExclusionSurvivesRandomUnparks) {
+  auto lock = MakeLock(GetParam());
+  ASSERT_NE(lock, nullptr);
+  constexpr int kThreads = 8;
+  std::uint64_t counter = 0;
+  std::atomic<bool> stop{false};
+  std::atomic<int> finished{0};
+  std::atomic<bool> release{false};
+  std::vector<std::atomic<Parker*>> parkers(kThreads);
+  for (auto& p : parkers) {
+    p.store(nullptr);
+  }
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      parkers[static_cast<std::size_t>(t)].store(&Self().parker);
+      for (int i = 0; i < 20000; ++i) {
+        lock->lock();
+        counter = counter + 1;
+        lock->unlock();
+      }
+      finished.fetch_add(1);
+      // Keep the thread (and its thread-local Parker) alive until the rogue
+      // has been stopped, so its unparks never target a dead thread.
+      while (!release.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+    });
+  }
+  std::thread rogue([&] {
+    XorShift64 rng(777);
+    while (!stop.load(std::memory_order_relaxed)) {
+      Parker* p = parkers[rng.NextBelow(kThreads)].load();
+      if (p != nullptr) {
+        p->Unpark();  // Spurious permit.
+      }
+    }
+  });
+  while (finished.load() != kThreads) {
+    std::this_thread::yield();
+  }
+  stop.store(true);
+  rogue.join();
+  release.store(true, std::memory_order_release);
+  for (auto& w : workers) {
+    w.join();
+  }
+  EXPECT_EQ(counter, static_cast<std::uint64_t>(kThreads) * 20000u);
+}
+
+INSTANTIATE_TEST_SUITE_P(ParkingLocks, SpuriousWakeStorm,
+                         ::testing::Values("mcs-stp", "mcscr-stp", "lifocr-stp", "loiter",
+                                           "pthread-style", "mcscrn-stp"),
+                         [](const ::testing::TestParamInfo<std::string>& pinfo) {
+                           std::string name = pinfo.param;
+                           for (char& c : name) {
+                             if (c == '-') {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace malthus

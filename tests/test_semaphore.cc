@@ -1,0 +1,185 @@
+// CrSemaphore & LifoSem: counting semantics, direct permit handoff, queue
+// disciplines, and multi-producer/multi-consumer stress.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/core/cr_semaphore.h"
+
+namespace malthus {
+namespace {
+
+TEST(CrSemaphore, InitialPermitsConsumable) {
+  CrSemaphore sem(3);
+  EXPECT_EQ(sem.Count(), 3);
+  sem.Wait();
+  sem.Wait();
+  sem.Wait();
+  EXPECT_EQ(sem.Count(), 0);
+  EXPECT_FALSE(sem.TryWait());
+}
+
+TEST(CrSemaphore, PostMakesWaitReturn) {
+  CrSemaphore sem(0);
+  std::atomic<bool> proceeded{false};
+  std::thread waiter([&] {
+    sem.Wait();
+    proceeded.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(proceeded.load());
+  sem.Post();
+  waiter.join();
+  EXPECT_TRUE(proceeded.load());
+}
+
+TEST(CrSemaphore, TryWaitNeverBlocks) {
+  CrSemaphore sem(1);
+  EXPECT_TRUE(sem.TryWait());
+  EXPECT_FALSE(sem.TryWait());
+  sem.Post();
+  EXPECT_TRUE(sem.TryWait());
+}
+
+TEST(CrSemaphore, PermitsHandedDirectlyToWaiters) {
+  // With a waiter queued, Post must not bump the public count (no
+  // thundering herd; the permit goes point-to-point).
+  CrSemaphore sem(0);
+  std::thread waiter([&] { sem.Wait(); });
+  while (sem.WaiterCount() != 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  sem.Post();
+  waiter.join();
+  EXPECT_EQ(sem.Count(), 0);
+}
+
+TEST(CrSemaphore, CountNeverNegativeNeverLeaksPermits) {
+  CrSemaphore sem(4);
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 5000;
+  std::atomic<int> in_section{0};
+  std::atomic<bool> violated{false};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < kRounds; ++i) {
+        sem.Wait();
+        const int now = in_section.fetch_add(1) + 1;
+        if (now > 4) {
+          violated.store(true);
+        }
+        in_section.fetch_sub(1);
+        sem.Post();
+      }
+    });
+  }
+  for (auto& w : workers) {
+    w.join();
+  }
+  EXPECT_FALSE(violated.load());
+  EXPECT_EQ(sem.Count(), 4);
+  EXPECT_EQ(sem.WaiterCount(), 0u);
+}
+
+TEST(LifoSem, MostRecentWaiterWinsThePermit) {
+  LifoSem sem(0);
+  std::vector<int> wake_order;
+  std::atomic<std::uint32_t> woken{0};
+  std::mutex record_mutex;
+  std::vector<std::thread> waiters;
+  for (int i = 0; i < 4; ++i) {
+    waiters.emplace_back([&, i] {
+      sem.Wait();
+      std::lock_guard<std::mutex> g(record_mutex);
+      wake_order.push_back(i);
+      woken.fetch_add(1);
+    });
+    while (sem.WaiterCount() != static_cast<std::size_t>(i + 1)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  for (int i = 0; i < 4; ++i) {
+    sem.Post();
+    while (woken.load() != static_cast<std::uint32_t>(i + 1)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  for (auto& w : waiters) {
+    w.join();
+  }
+  EXPECT_EQ(wake_order, (std::vector<int>{3, 2, 1, 0}));
+}
+
+TEST(CrSemaphore, FifoDisciplineWakesInArrivalOrder) {
+  CrSemaphore sem(0, CrSemaphoreOptions{.append_probability = 1.0});
+  std::vector<int> wake_order;
+  std::atomic<std::uint32_t> woken{0};
+  std::mutex record_mutex;
+  std::vector<std::thread> waiters;
+  for (int i = 0; i < 4; ++i) {
+    waiters.emplace_back([&, i] {
+      sem.Wait();
+      std::lock_guard<std::mutex> g(record_mutex);
+      wake_order.push_back(i);
+      woken.fetch_add(1);
+    });
+    while (sem.WaiterCount() != static_cast<std::size_t>(i + 1)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  for (int i = 0; i < 4; ++i) {
+    sem.Post();
+    while (woken.load() != static_cast<std::uint32_t>(i + 1)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  for (auto& w : waiters) {
+    w.join();
+  }
+  EXPECT_EQ(wake_order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(CrSemaphore, ProducerConsumerConveysEverything) {
+  CrSemaphore items(0, CrSemaphoreOptions{.append_probability = 1.0 / 1000});
+  CrSemaphore slots(64, CrSemaphoreOptions{.append_probability = 1.0 / 1000});
+  std::atomic<std::uint64_t> produced{0};
+  std::atomic<std::uint64_t> consumed{0};
+  constexpr std::uint64_t kTotal = 40000;
+  std::vector<std::thread> workers;
+  for (int p = 0; p < 4; ++p) {
+    workers.emplace_back([&] {
+      while (true) {
+        const std::uint64_t n = produced.fetch_add(1);
+        if (n >= kTotal) {
+          break;
+        }
+        slots.Wait();
+        items.Post();
+      }
+    });
+  }
+  for (int c = 0; c < 3; ++c) {
+    workers.emplace_back([&] {
+      while (consumed.load() < kTotal) {
+        if (items.TryWait()) {
+          slots.Post();
+          consumed.fetch_add(1);
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (auto& w : workers) {
+    w.join();
+  }
+  EXPECT_GE(consumed.load(), kTotal);
+}
+
+}  // namespace
+}  // namespace malthus

@@ -1,0 +1,238 @@
+// Cross-cutting stress tests: concurrent signal/broadcast storms on the
+// condvar, mixed lock()/try_lock() contention on every algorithm, node-pool
+// recycling across many locks, and semaphore post/wait storms.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/core/cr_condvar.h"
+#include "src/core/cr_semaphore.h"
+#include "src/core/mcscr.h"
+#include "src/locks/any_lock.h"
+#include "src/locks/mcs.h"
+#include "src/locks/tas.h"
+
+namespace malthus {
+namespace {
+
+TEST(CondVarStress, ConcurrentSignalersAndBroadcasters) {
+  TtasLock lock;
+  CrCondVar cv(CrCondVarOptions{.append_probability = 0.5});
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> wakeups{0};
+  constexpr int kWaiters = 6;
+
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWaiters; ++w) {
+    threads.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        lock.lock();
+        if (!stop.load(std::memory_order_acquire)) {
+          cv.Wait(lock);
+          wakeups.fetch_add(1, std::memory_order_relaxed);
+        }
+        lock.unlock();
+      }
+    });
+  }
+  // Two signalers and one broadcaster hammer the condvar concurrently.
+  for (int s = 0; s < 2; ++s) {
+    threads.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        cv.Signal();
+      }
+    });
+  }
+  threads.emplace_back([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      cv.Broadcast();
+      std::this_thread::yield();
+    }
+  });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  stop.store(true, std::memory_order_release);
+  // Flush any still-parked waiters out.
+  for (int i = 0; i < 100; ++i) {
+    cv.Broadcast();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    if (cv.WaiterCount() == 0) {
+      break;
+    }
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_GT(wakeups.load(), 0u);
+  EXPECT_EQ(cv.WaiterCount(), 0u);
+}
+
+class MixedTryLockStress : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(MixedTryLockStress, LockAndTryLockInterleave) {
+  // try_lock paths must compose with blocking lock() paths without breaking
+  // exclusion. Only algorithms exposing try_lock through templates here.
+  const std::string& name = GetParam();
+  std::uint64_t counter = 0;
+  std::uint64_t expected = 0;
+
+  auto run = [&](auto& lock) {
+    std::atomic<std::uint64_t> try_successes{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+      threads.emplace_back([&] {
+        for (int i = 0; i < 8000; ++i) {
+          lock.lock();
+          counter = counter + 1;
+          lock.unlock();
+        }
+      });
+      threads.emplace_back([&] {
+        for (int i = 0; i < 8000; ++i) {
+          if (lock.try_lock()) {
+            counter = counter + 1;
+            try_successes.fetch_add(1, std::memory_order_relaxed);
+            lock.unlock();
+          }
+        }
+      });
+    }
+    for (auto& t : threads) {
+      t.join();
+    }
+    expected = 4u * 8000u + try_successes.load();
+  };
+
+  if (name == "tas") {
+    TtasLock lock;
+    run(lock);
+  } else if (name == "mcs-stp") {
+    McsStpLock lock;
+    run(lock);
+  } else if (name == "mcscr-stp") {
+    McscrStpLock lock;
+    run(lock);
+  } else {
+    GTEST_SKIP() << "no try_lock variant wired for " << name;
+  }
+  EXPECT_EQ(counter, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Locks, MixedTryLockStress,
+                         ::testing::Values("tas", "mcs-stp", "mcscr-stp"),
+                         [](const ::testing::TestParamInfo<std::string>& pinfo) {
+                           std::string name = pinfo.param;
+                           for (char& c : name) {
+                             if (c == '-') {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+TEST(NodePool, RecyclesAcrossManyLocks) {
+  // A thread acquiring hundreds of distinct MCS-family locks in sequence
+  // reuses pooled nodes; interleaved contention must not alias them.
+  constexpr int kLocks = 200;
+  std::vector<std::unique_ptr<McscrStpLock>> locks;
+  for (int i = 0; i < kLocks; ++i) {
+    locks.push_back(std::make_unique<McscrStpLock>());
+  }
+  std::atomic<std::uint64_t> total{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      XorShift64 rng(static_cast<std::uint64_t>(t) + 3);
+      for (int i = 0; i < 20000; ++i) {
+        auto& lock = *locks[rng.NextBelow(kLocks)];
+        lock.lock();
+        total.fetch_add(1, std::memory_order_relaxed);
+        lock.unlock();
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(total.load(), 4u * 20000u);
+  for (auto& lock : locks) {
+    EXPECT_EQ(lock->passive_set_size(), 0u);
+  }
+}
+
+TEST(NodePool, DeepNestingAcrossLocks) {
+  // Hold a chain of locks simultaneously: each nesting level pops another
+  // node from the thread's pool.
+  constexpr int kDepth = 16;
+  std::vector<std::unique_ptr<McsStpLock>> chain;
+  for (int i = 0; i < kDepth; ++i) {
+    chain.push_back(std::make_unique<McsStpLock>());
+  }
+  std::vector<std::thread> threads;
+  std::atomic<std::uint64_t> total{0};
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 2000; ++i) {
+        for (auto& lock : chain) {
+          lock->lock();
+        }
+        total.fetch_add(1, std::memory_order_relaxed);
+        for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+          (*it)->unlock();
+        }
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(total.load(), 4u * 2000u);
+}
+
+TEST(SemaphoreStress, PostWaitStormConservesPermits) {
+  CrSemaphore sem(0, CrSemaphoreOptions{.append_probability = 0.5});
+  constexpr int kThreads = 6;
+  constexpr int kRounds = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kRounds; ++i) {
+        sem.Post();
+        sem.Wait();
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(sem.Count(), 0);
+  EXPECT_EQ(sem.WaiterCount(), 0u);
+}
+
+TEST(LockChurn, CreateDestroyUnderUse) {
+  // Locks created and destroyed repeatedly (quiescent at destruction) must
+  // not leak nodes or corrupt the thread pools.
+  for (int round = 0; round < 50; ++round) {
+    auto lock = std::make_unique<McscrStpLock>();
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+      threads.emplace_back([&] {
+        for (int i = 0; i < 500; ++i) {
+          lock->lock();
+          lock->unlock();
+        }
+      });
+    }
+    for (auto& t : threads) {
+      t.join();
+    }
+    EXPECT_EQ(lock->passive_set_size(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace malthus

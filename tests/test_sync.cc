@@ -1,0 +1,212 @@
+// Sync constructs: bounded blocking queue, buffer pools (condvar and
+// semaphore variants), and the thread pool's activation-set behaviour.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "src/core/mcscr.h"
+#include "src/locks/mcs.h"
+#include "src/metrics/fairness.h"
+#include "src/sync/blocking_queue.h"
+#include "src/sync/buffer_pool.h"
+#include "src/sync/thread_pool.h"
+
+namespace malthus {
+namespace {
+
+TEST(BlockingQueue, FifoContentIntegritySingleConsumer) {
+  BoundedBlockingQueue<int, McsStpLock> queue(64);
+  constexpr int kTotal = 10000;
+  std::thread producer([&] {
+    for (int i = 0; i < kTotal; ++i) {
+      queue.Push(i);
+    }
+  });
+  for (int i = 0; i < kTotal; ++i) {
+    EXPECT_EQ(queue.Pop(), i);  // Single producer + FIFO queue: exact order.
+  }
+  producer.join();
+  EXPECT_EQ(queue.Size(), 0u);
+}
+
+TEST(BlockingQueue, CapacityBoundsProducers) {
+  BoundedBlockingQueue<int, McsStpLock> queue(4);
+  for (int i = 0; i < 4; ++i) {
+    queue.Push(i);
+  }
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    queue.Push(99);  // Must block on the full queue.
+    pushed.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(pushed.load());
+  EXPECT_EQ(queue.Pop(), 0);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_GT(queue.futile_waits(), 0u);
+}
+
+TEST(BlockingQueue, ManyProducersManyConsumersConserveValues) {
+  BoundedBlockingQueue<int, McscrStpLock> queue(128);
+  constexpr int kProducers = 6;
+  constexpr int kPerProducer = 5000;
+  std::atomic<std::uint64_t> sum_consumed{0};
+  std::atomic<int> consumed{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        queue.Push(p * kPerProducer + i);
+      }
+    });
+  }
+  for (int c = 0; c < 3; ++c) {
+    threads.emplace_back([&] {
+      while (true) {
+        const int n = consumed.fetch_add(1);
+        if (n >= kProducers * kPerProducer) {
+          break;
+        }
+        sum_consumed.fetch_add(static_cast<std::uint64_t>(queue.Pop()));
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  const std::uint64_t total = static_cast<std::uint64_t>(kProducers) * kPerProducer;
+  EXPECT_EQ(sum_consumed.load(), total * (total - 1) / 2);
+}
+
+TEST(BlockingQueue, TryPopDoesNotBlock) {
+  BoundedBlockingQueue<int, McsStpLock> queue(8);
+  int out = -1;
+  EXPECT_FALSE(queue.TryPop(&out));
+  queue.Push(7);
+  EXPECT_TRUE(queue.TryPop(&out));
+  EXPECT_EQ(out, 7);
+}
+
+TEST(BufferPool, NeverExceedsCapacityAndAllBuffersReturn) {
+  BufferPool<McsStpLock> pool(5, 4096, CrCondVarOptions{});
+  std::atomic<int> outstanding{0};
+  std::atomic<bool> violated{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 2000; ++i) {
+        PoolBuffer* b = pool.Acquire();
+        const int now = outstanding.fetch_add(1) + 1;
+        if (now > 5) {
+          violated.store(true);
+        }
+        b->data[static_cast<std::size_t>(i) % b->data.size()] = static_cast<std::uint32_t>(i);
+        outstanding.fetch_sub(1);
+        pool.Release(b);
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_FALSE(violated.load());
+  EXPECT_EQ(pool.AvailableCount(), 5u);
+}
+
+TEST(BufferPool, LifoAllocationReusesWarmBuffer) {
+  BufferPool<McsStpLock> pool(3, 1024, CrCondVarOptions{});
+  PoolBuffer* a = pool.Acquire();
+  pool.Release(a);
+  PoolBuffer* b = pool.Acquire();
+  EXPECT_EQ(a, b);  // LIFO: the just-released buffer comes back first.
+  pool.Release(b);
+}
+
+TEST(SemaphoreBufferPool, EquivalentSemantics) {
+  SemaphoreBufferPool pool(5, 4096, CrSemaphoreOptions{.append_probability = 1.0 / 1000});
+  std::atomic<int> outstanding{0};
+  std::atomic<bool> violated{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 2000; ++i) {
+        PoolBuffer* b = pool.Acquire();
+        const int now = outstanding.fetch_add(1) + 1;
+        if (now > 5) {
+          violated.store(true);
+        }
+        outstanding.fetch_sub(1);
+        pool.Release(b);
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_FALSE(violated.load());
+}
+
+TEST(ThreadPool, ExecutesEverySubmittedTask) {
+  ThreadPool pool(4, CrCondVarOptions{});
+  std::atomic<int> executed{0};
+  for (int i = 0; i < 1000; ++i) {
+    pool.Submit([&] { executed.fetch_add(1); });
+  }
+  pool.Drain();
+  EXPECT_EQ(executed.load(), 1000);
+}
+
+TEST(ThreadPool, TaskCountsSumToSubmissions) {
+  ThreadPool pool(4, CrCondVarOptions{});
+  std::atomic<int> executed{0};
+  for (int i = 0; i < 2000; ++i) {
+    pool.Submit([&] { executed.fetch_add(1); });
+  }
+  pool.Drain();
+  const auto counts = pool.TaskCountsPerWorker();
+  const std::uint64_t sum = std::accumulate(counts.begin(), counts.end(), std::uint64_t{0});
+  EXPECT_EQ(sum, 2000u);
+}
+
+TEST(ThreadPool, LifoDisciplineConcentratesActivation) {
+  // A slow trickle of tasks: a mostly-LIFO pool keeps re-waking the same
+  // few workers, while a FIFO pool round-robins across all of them.
+  auto activation_gini = [](double append_probability) {
+    ThreadPool pool(8, CrCondVarOptions{.append_probability = append_probability});
+    for (int i = 0; i < 600; ++i) {
+      pool.Submit([] {});
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+      pool.Drain();
+    }
+    const auto counts = pool.TaskCountsPerWorker();
+    std::vector<double> values(counts.begin(), counts.end());
+    return GiniCoefficient(values);
+  };
+  const double fifo_gini = activation_gini(1.0);
+  const double lifo_gini = activation_gini(1.0 / 1000);
+  EXPECT_GT(lifo_gini, fifo_gini);
+}
+
+TEST(ThreadPool, ShutdownWithPendingWorkCompletes) {
+  std::atomic<int> executed{0};
+  {
+    ThreadPool pool(2, CrCondVarOptions{});
+    for (int i = 0; i < 100; ++i) {
+      pool.Submit([&] {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+        executed.fetch_add(1);
+      });
+    }
+    pool.Drain();
+  }
+  EXPECT_EQ(executed.load(), 100);
+}
+
+}  // namespace
+}  // namespace malthus

@@ -1,0 +1,209 @@
+// VM substrate: opcode semantics, control flow, canned programs, error
+// handling, and the perl-style VmLock construct.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "src/vm/interp.h"
+#include "src/vm/program.h"
+#include "src/vm/vm_lock.h"
+
+namespace malthus {
+namespace {
+
+using vm::Context;
+using vm::Instr;
+using vm::Interp;
+using vm::Op;
+using vm::Program;
+
+TEST(Vm, ArithmeticOps) {
+  Program p = {
+      {Op::kPushI, 6}, {Op::kPushI, 7}, {Op::kMul, 0},  {Op::kPushI, 2},
+      {Op::kAdd, 0},   {Op::kPushI, 4}, {Op::kSub, 0},  {Op::kPushI, 10},
+      {Op::kMod, 0},   {Op::kHalt, 0},
+  };
+  Context ctx;
+  EXPECT_EQ(Interp::Run(p, ctx).top, ((6 * 7 + 2 - 4) % 10));
+}
+
+TEST(Vm, LocalsAndComparison) {
+  Program p = {
+      {Op::kPushI, 5}, {Op::kStoreL, 0}, {Op::kLoadL, 0}, {Op::kPushI, 9},
+      {Op::kLt, 0},    {Op::kHalt, 0},
+  };
+  Context ctx;
+  EXPECT_EQ(Interp::Run(p, ctx).top, 1);
+}
+
+TEST(Vm, DupAndPop) {
+  Program p = {
+      {Op::kPushI, 3}, {Op::kDup, 0}, {Op::kAdd, 0}, {Op::kPushI, 99},
+      {Op::kPop, 0},   {Op::kHalt, 0},
+  };
+  Context ctx;
+  EXPECT_EQ(Interp::Run(p, ctx).top, 6);
+}
+
+TEST(Vm, JumpAndJnz) {
+  // Skip over a poison push via kJmp.
+  Program p = {
+      {Op::kJmp, 2}, {Op::kPushI, -1}, {Op::kPushI, 42}, {Op::kHalt, 0},
+  };
+  Context ctx;
+  EXPECT_EQ(Interp::Run(p, ctx).top, 42);
+}
+
+TEST(Vm, SumLoopProgram) {
+  Context ctx;
+  const auto result = Interp::Run(vm::BuildSumLoop(100), ctx);
+  EXPECT_EQ(result.top, 4950);
+}
+
+TEST(Vm, ArrayRoundTrip) {
+  Context ctx;
+  const int arr = ctx.AddArray(64);
+  const auto result = Interp::Run(vm::BuildArrayRoundTrip(arr, 7, 1234), ctx);
+  EXPECT_EQ(result.top, 1234);
+  EXPECT_EQ(ctx.ArrayAt(arr)[7], 1234);
+}
+
+TEST(Vm, SharedArrayVisibleAcrossContexts) {
+  std::vector<std::int64_t> shared(16, 0);
+  Context a;
+  Context b;
+  const int ida = a.AddSharedArray(&shared);
+  const int idb = b.AddSharedArray(&shared);
+  Interp::Run(vm::BuildArrayRoundTrip(ida, 3, 77), a);
+  Program read = {{Op::kPushI, 3}, {Op::kArrLoad, idb}, {Op::kHalt, 0}};
+  EXPECT_EQ(Interp::Run(read, b).top, 77);
+}
+
+TEST(Vm, RandArrayLoopTouchesArrayDeterministically) {
+  Context a(42);
+  Context b(42);
+  const int ida = a.AddArray(1000);
+  const int idb = b.AddArray(1000);
+  a.ArrayAt(ida).assign(1000, 5);
+  b.ArrayAt(idb).assign(1000, 5);
+  const auto ra = Interp::Run(vm::BuildRandArrayLoop(ida, 400), a);
+  const auto rb = Interp::Run(vm::BuildRandArrayLoop(idb, 400), b);
+  EXPECT_EQ(ra.top, rb.top);          // Same seed, same result.
+  EXPECT_EQ(ra.top, 400 * 5);         // All elements are 5.
+  EXPECT_GT(ra.instructions, 400u);   // Interpreted overhead is real.
+}
+
+TEST(Vm, StackUnderflowThrows) {
+  Program p = {{Op::kAdd, 0}, {Op::kHalt, 0}};
+  Context ctx;
+  EXPECT_THROW(Interp::Run(p, ctx), std::runtime_error);
+}
+
+TEST(Vm, ModByZeroThrows) {
+  Program p = {{Op::kPushI, 1}, {Op::kPushI, 0}, {Op::kMod, 0}, {Op::kHalt, 0}};
+  Context ctx;
+  EXPECT_THROW(Interp::Run(p, ctx), std::runtime_error);
+}
+
+TEST(Vm, PcOutOfRangeThrows) {
+  Program p = {{Op::kJmp, 100}};
+  Context ctx;
+  EXPECT_THROW(Interp::Run(p, ctx), std::runtime_error);
+}
+
+TEST(Vm, MaxInstructionsBoundsRunawayLoops) {
+  Program p = {{Op::kJmp, 0}};
+  Context ctx;
+  const auto result = Interp::Run(p, ctx, 1000);
+  EXPECT_EQ(result.instructions, 1000u);
+}
+
+TEST(Vm, DisassembleIsReadable) {
+  Program p = {{Op::kPushI, 9}, {Op::kHalt, 0}};
+  const std::string text = vm::Disassemble(p);
+  EXPECT_NE(text.find("push 9"), std::string::npos);
+  EXPECT_NE(text.find("halt"), std::string::npos);
+}
+
+TEST(VmLock, MutualExclusion) {
+  vm::VmLock lock;
+  std::uint64_t counter = 0;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 6; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < 5000; ++i) {
+        lock.lock();
+        counter = counter + 1;
+        lock.unlock();
+      }
+    });
+  }
+  for (auto& w : workers) {
+    w.join();
+  }
+  EXPECT_EQ(counter, 6u * 5000u);
+  EXPECT_FALSE(lock.IsHeld());
+}
+
+TEST(VmLock, MostlyLifoDisciplineStillExcludesAndProgresses) {
+  vm::VmLock lock(CrCondVarOptions{.append_probability = 1.0 / 1000});
+  std::atomic<bool> stop{false};
+  std::vector<std::uint64_t> acquires(6, 0);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 6; ++t) {
+    workers.emplace_back([&, t] {
+      std::uint64_t local = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        lock.lock();
+        lock.unlock();
+        ++local;
+      }
+      acquires[static_cast<std::size_t>(t)] = local;
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  stop.store(true);
+  for (auto& w : workers) {
+    w.join();
+  }
+  for (std::size_t t = 0; t < acquires.size(); ++t) {
+    EXPECT_GT(acquires[t], 0u) << "thread " << t << " starved";
+  }
+}
+
+TEST(VmLock, InterpretedCriticalSectionsStayAtomic) {
+  // Threads run interpreted read-modify-write programs on a shared array
+  // under the VmLock; the final sum must equal the iteration count.
+  vm::VmLock lock;
+  std::vector<std::int64_t> shared(1, 0);
+  constexpr int kThreads = 4;
+  constexpr int kIters = 2000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      Context ctx(static_cast<std::uint64_t>(Self().id) + 1);
+      const int arr = ctx.AddSharedArray(&shared);
+      // shared[0] = shared[0] + 1, interpreted.
+      Program increment = {
+          {Op::kPushI, 0}, {Op::kPushI, 0},   {Op::kArrLoad, arr}, {Op::kPushI, 1},
+          {Op::kAdd, 0},   {Op::kArrStore, arr}, {Op::kHalt, 0},
+      };
+      for (int i = 0; i < kIters; ++i) {
+        lock.lock();
+        Interp::Run(increment, ctx);
+        lock.unlock();
+      }
+    });
+  }
+  for (auto& w : workers) {
+    w.join();
+  }
+  EXPECT_EQ(shared[0], static_cast<std::int64_t>(kThreads) * kIters);
+}
+
+}  // namespace
+}  // namespace malthus

@@ -1,0 +1,129 @@
+// Waiting policies and backoff helpers: spin/spin-then-park/park semantics,
+// spin-budget resolution and calibration, and backoff bounds.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "src/platform/calibrate.h"
+#include "src/platform/thread_registry.h"
+#include "src/rng/xorshift.h"
+#include "src/waiting/backoff.h"
+#include "src/waiting/policy.h"
+
+namespace malthus {
+namespace {
+
+template <typename Policy>
+void ExpectAwaitReturnsOnFlagFlip() {
+  std::atomic<std::uint32_t> flag{0};
+  Parker parker;
+  std::thread waiter([&] {
+    Policy::Await(flag, 0u, parker, 100);
+    EXPECT_EQ(flag.load(), 1u);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  flag.store(1, std::memory_order_release);
+  Policy::Wake(parker);
+  waiter.join();
+}
+
+TEST(WaitPolicy, SpinReturnsOnFlagFlip) { ExpectAwaitReturnsOnFlagFlip<SpinPolicy>(); }
+
+TEST(WaitPolicy, SpinThenParkReturnsOnFlagFlip) {
+  ExpectAwaitReturnsOnFlagFlip<SpinThenParkPolicy>();
+}
+
+TEST(WaitPolicy, ParkReturnsOnFlagFlip) { ExpectAwaitReturnsOnFlagFlip<ParkPolicy>(); }
+
+TEST(WaitPolicy, SpinThenParkActuallyParksAfterBudget) {
+  std::atomic<std::uint32_t> flag{0};
+  Parker parker;
+  const std::uint64_t kernel_before = parker.kernel_waits();
+  std::thread waiter([&] { SpinThenParkPolicy::Await(flag, 0u, parker, 10); });
+  // Give the waiter ample time to burn its 10-iteration budget and block.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  flag.store(1, std::memory_order_release);
+  SpinThenParkPolicy::Wake(parker);
+  waiter.join();
+  EXPECT_GT(parker.kernel_waits(), kernel_before);
+}
+
+TEST(WaitPolicy, SpinThenParkWithZeroBudgetIsParkPolicy) {
+  std::atomic<std::uint32_t> flag{0};
+  Parker parker;
+  std::thread waiter([&] { SpinThenParkPolicy::Await(flag, 0u, parker, 0); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  flag.store(1, std::memory_order_release);
+  parker.Unpark();
+  waiter.join();
+  EXPECT_GT(parker.kernel_waits(), 0u);
+}
+
+TEST(WaitPolicy, StalePermitDoesNotBreakAwait) {
+  // The paper's litmus test: permits from previous grant cycles may linger;
+  // Await must re-check the flag and keep waiting.
+  std::atomic<std::uint32_t> flag{0};
+  Parker parker;
+  parker.Unpark();  // Stale permit.
+  std::thread waiter([&] { SpinThenParkPolicy::Await(flag, 0u, parker, 0); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  // Waiter must still be waiting (the stale permit only caused a re-check).
+  flag.store(1, std::memory_order_release);
+  parker.Unpark();
+  waiter.join();
+  EXPECT_EQ(flag.load(), 1u);
+}
+
+TEST(SpinBudget, ResolveKeepsExplicitValues) {
+  EXPECT_EQ(ResolveSpinBudget(0), 0u);
+  EXPECT_EQ(ResolveSpinBudget(123), 123u);
+}
+
+TEST(SpinBudget, AutoResolvesToCalibrated) {
+  EXPECT_EQ(ResolveSpinBudget(kAutoSpinBudget), CalibratedSpinBudget());
+}
+
+TEST(SpinBudget, CalibrationIsStableAndSane) {
+  const std::uint32_t a = CalibratedSpinBudget();
+  const std::uint32_t b = CalibratedSpinBudget();
+  EXPECT_EQ(a, b);  // Cached.
+  EXPECT_GE(a, 20000u);
+  EXPECT_LE(a, 1000000u);
+}
+
+TEST(Backoff, ExponentialCeilingDoublesAndSaturates) {
+  ExponentialBackoff backoff(16, 64);
+  XorShift64 rng(1);
+  EXPECT_EQ(backoff.ceiling(), 16u);
+  backoff.Pause(rng);
+  EXPECT_EQ(backoff.ceiling(), 32u);
+  backoff.Pause(rng);
+  EXPECT_EQ(backoff.ceiling(), 64u);
+  backoff.Pause(rng);
+  EXPECT_EQ(backoff.ceiling(), 64u);  // Truncated.
+}
+
+TEST(Backoff, ResetRestoresInitialCeiling) {
+  ExponentialBackoff backoff(8, 1024);
+  XorShift64 rng(2);
+  backoff.Pause(rng);
+  backoff.Pause(rng);
+  backoff.Reset();
+  EXPECT_EQ(backoff.ceiling(), 8u);
+}
+
+TEST(Backoff, ProportionalScalesWithDistance) {
+  // Behavioural smoke: longer distances must take longer (measured
+  // coarsely; generous margins keep this robust under CI noise).
+  const auto t0 = std::chrono::steady_clock::now();
+  ProportionalBackoff(1, 64);
+  const auto t1 = std::chrono::steady_clock::now();
+  ProportionalBackoff(2000, 64);
+  const auto t2 = std::chrono::steady_clock::now();
+  EXPECT_GT((t2 - t1).count(), (t1 - t0).count());
+}
+
+}  // namespace
+}  // namespace malthus
