@@ -8,9 +8,16 @@
 //
 // Method: two threads ping-pong over the lock; the releasing side
 // timestamps immediately before unlock() and the acquiring side immediately
-// after lock() returns; the median gap over many handovers is reported.
-// `parked` variants force the waiter to park (spin budget 0) to expose the
-// kernel-wake cost.
+// after lock() returns; the median gap over many handovers is reported,
+// along with the median cost of the unlock() call itself (the portion of
+// the handover accrued while the lock is logically held). `parked` variants
+// force the waiter to park (spin budget 0) to expose the kernel-wake cost.
+//
+// `wakeahead` variants call PrepareHandover() at the top of the hold: the
+// owner posts the heir's wake permit early, so the kernel wake overlaps the
+// critical section and the grant itself needs no syscall. The per-variant
+// futex-traffic counters (kernel_wakes / elided_wakes / wake_aheads /
+// kernel_parks, all deltas per handover round) show the mechanism working.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -20,6 +27,7 @@
 #include <vector>
 
 #include "bench/common.h"
+#include "src/locks/handover_guard.h"
 
 namespace {
 
@@ -28,11 +36,34 @@ using namespace malthus::bench;
 
 using Clock = std::chrono::steady_clock;
 
+struct HandoverStats {
+  double median_handover_ns = 0.0;
+  double median_unlock_ns = 0.0;
+  double gap_samples = 0.0;
+};
+
+double Median(std::vector<double>& v) {
+  if (v.empty()) {
+    return 0.0;
+  }
+  const std::size_t mid = v.size() / 2;
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid), v.end());
+  return v[mid];
+}
+
+// When `require_parked` is set, a round contributes samples only if the
+// acquiring side actually entered the park phase of its wait (it consumed a
+// permit or blocked in the kernel). The ping-pong is scheduler-coupled: on
+// small machines it can slip into a decoupled mode where most acquisitions
+// are uncontended, and unfiltered medians would then measure re-acquisition
+// of a free lock rather than §5.2 handover.
 template <typename Lock>
-double MedianHandoverNs(Lock& lock, int rounds) {
+HandoverStats MeasureHandover(Lock& lock, int rounds, bool wake_ahead, bool require_parked) {
   std::atomic<std::int64_t> release_stamp{0};
   std::vector<double> gaps;
+  std::vector<double> unlock_costs;
   gaps.reserve(static_cast<std::size_t>(rounds));
+  unlock_costs.reserve(static_cast<std::size_t>(rounds));
   std::atomic<bool> done{false};
 
   std::thread partner([&] {
@@ -40,6 +71,11 @@ double MedianHandoverNs(Lock& lock, int rounds) {
       lock.lock();
       const std::int64_t sent = release_stamp.load(std::memory_order_acquire);
       benchmark::DoNotOptimize(sent);
+      if (wake_ahead) {
+        // Post the heir's permit at the top of the hold: maximal overlap
+        // between its kernel wakeup and our remaining critical section.
+        PrepareHandoverIfSupported(lock);
+      }
       // Hold briefly so the main thread queues up behind us.
       for (int i = 0; i < 2000; ++i) {
         CpuRelax();
@@ -49,18 +85,36 @@ double MedianHandoverNs(Lock& lock, int rounds) {
     }
   });
 
+  Parker& self_parker = Self().parker;
   for (int r = 0; r < rounds; ++r) {
+    const std::uint64_t parks_before = self_parker.kernel_waits() + self_parker.fast_path_parks();
     lock.lock();
     const auto now = Clock::now().time_since_epoch().count();
+    // Did this acquisition go through the park phase (kernel block or
+    // consumed permit)? Distinguishes real parked handovers from grabs of a
+    // momentarily free lock.
+    const bool parked_round =
+        self_parker.kernel_waits() + self_parker.fast_path_parks() > parks_before;
     const std::int64_t sent = release_stamp.load(std::memory_order_acquire);
-    if (sent != 0 && now > sent) {
+    if (sent != 0 && now > sent && (!require_parked || parked_round)) {
       gaps.push_back(static_cast<double>(now - sent));
+    }
+    if (wake_ahead) {
+      PrepareHandoverIfSupported(lock);
     }
     for (int i = 0; i < 2000; ++i) {
       CpuRelax();
     }
     release_stamp.store(0, std::memory_order_relaxed);
+    const auto unlock_begin = Clock::now();
     lock.unlock();
+    const auto unlock_end = Clock::now();
+    if (!require_parked || parked_round) {
+      unlock_costs.push_back(
+          static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                  unlock_end - unlock_begin)
+                                  .count()));
+    }
     // Brief pause so the partner (not us) is the next owner.
     for (int i = 0; i < 4000; ++i) {
       CpuRelax();
@@ -69,16 +123,12 @@ double MedianHandoverNs(Lock& lock, int rounds) {
   done.store(true, std::memory_order_release);
   partner.join();
 
-  if (gaps.empty()) {
-    return 0.0;
-  }
-  const std::size_t mid = gaps.size() / 2;
-  std::nth_element(gaps.begin(), gaps.begin() + static_cast<std::ptrdiff_t>(mid), gaps.end());
-  return gaps[mid];
+  return HandoverStats{Median(gaps), Median(unlock_costs), static_cast<double>(gaps.size())};
 }
 
 template <typename Lock>
-void HandoverPoint(benchmark::State& state, std::uint32_t spin_budget, int rounds = 2000) {
+void HandoverPoint(benchmark::State& state, std::uint32_t spin_budget, bool wake_ahead,
+                   int rounds = 2000) {
   for (auto _ : state) {
     Lock lock;
     if constexpr (requires(Lock& l, std::uint32_t b) { l.set_spin_budget(b); }) {
@@ -86,31 +136,68 @@ void HandoverPoint(benchmark::State& state, std::uint32_t spin_budget, int round
         lock.set_spin_budget(spin_budget);
       }
     }
-    state.counters["median_handover_ns"] = MedianHandoverNs(lock, rounds);
+    // Forced-park variants measure §5.2 parked handover; only rounds with a
+    // real parked wait count.
+    const bool require_parked = spin_budget == 0;
+    const std::uint64_t parks_before = TotalKernelParks();
+    const std::uint64_t wakes_before = TotalKernelWakes();
+    const std::uint64_t elided_before = TotalElidedKernelWakes();
+    const std::uint64_t aheads_before = TotalWakeAheads();
+    const HandoverStats stats = MeasureHandover(lock, rounds, wake_ahead, require_parked);
+    const double per_round = 1.0 / static_cast<double>(rounds);
+    state.counters["median_handover_ns"] = stats.median_handover_ns;
+    state.counters["median_unlock_ns"] = stats.median_unlock_ns;
+    state.counters["gap_samples"] = stats.gap_samples;
+    state.counters["kernel_parks_per_round"] =
+        static_cast<double>(TotalKernelParks() - parks_before) * per_round;
+    state.counters["kernel_wakes_per_round"] =
+        static_cast<double>(TotalKernelWakes() - wakes_before) * per_round;
+    state.counters["elided_wakes_per_round"] =
+        static_cast<double>(TotalElidedKernelWakes() - elided_before) * per_round;
+    state.counters["wake_aheads_per_round"] =
+        static_cast<double>(TotalWakeAheads() - aheads_before) * per_round;
   }
 }
 
 void RegisterAll() {
+  const bool kPlain = false;
+  const bool kWakeAhead = true;
   // TAS handover under competitive succession interacts with randomized
   // backoff, making individual rounds slow; fewer rounds keep the suite
   // quick while the median stays stable.
   benchmark::RegisterBenchmark(
-      "Handover/tas", [](benchmark::State& s) { HandoverPoint<TtasLock>(s, kAutoSpinBudget, 100); })
+      "Handover/tas",
+      [=](benchmark::State& s) { HandoverPoint<TtasLock>(s, kAutoSpinBudget, kPlain, 100); })
       ->Iterations(1);
   benchmark::RegisterBenchmark(
-      "Handover/mcs-s", [](benchmark::State& s) { HandoverPoint<McsSpinLock>(s, kAutoSpinBudget); })
+      "Handover/mcs-s",
+      [=](benchmark::State& s) { HandoverPoint<McsSpinLock>(s, kAutoSpinBudget, kPlain); })
       ->Iterations(1);
   benchmark::RegisterBenchmark(
       "Handover/mcs-stp-spinning",
-      [](benchmark::State& s) { HandoverPoint<McsStpLock>(s, kAutoSpinBudget); })
+      [=](benchmark::State& s) { HandoverPoint<McsStpLock>(s, kAutoSpinBudget, kPlain); })
       ->Iterations(1);
   benchmark::RegisterBenchmark(
+      "Handover/mcs-stp-spinning-wakeahead",
+      [=](benchmark::State& s) { HandoverPoint<McsStpLock>(s, kAutoSpinBudget, kWakeAhead); })
+      ->Iterations(1);
+  // Forced-park variants keep only genuinely parked rounds; extra rounds
+  // buy enough samples when the ping-pong drifts into its decoupled mode.
+  benchmark::RegisterBenchmark(
       "Handover/mcs-stp-parked",
-      [](benchmark::State& s) { HandoverPoint<McsStpLock>(s, 0); })  // Forced park.
+      [=](benchmark::State& s) { HandoverPoint<McsStpLock>(s, 0, kPlain, 6000); })
+      ->Iterations(1);
+  benchmark::RegisterBenchmark(
+      "Handover/mcs-stp-parked-wakeahead",
+      [=](benchmark::State& s) { HandoverPoint<McsStpLock>(s, 0, kWakeAhead, 6000); })
       ->Iterations(1);
   benchmark::RegisterBenchmark(
       "Handover/mcscr-stp",
-      [](benchmark::State& s) { HandoverPoint<McscrStpLock>(s, kAutoSpinBudget); })
+      [=](benchmark::State& s) { HandoverPoint<McscrStpLock>(s, kAutoSpinBudget, kPlain); })
+      ->Iterations(1);
+  benchmark::RegisterBenchmark(
+      "Handover/mcscr-stp-wakeahead",
+      [=](benchmark::State& s) { HandoverPoint<McscrStpLock>(s, kAutoSpinBudget, kWakeAhead); })
       ->Iterations(1);
 }
 

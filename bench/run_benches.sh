@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Runs the perf-tracked benchmark subset and merges the results into one
+# JSON snapshot so the per-PR perf trajectory accumulates in-repo
+# (BENCH_PR<N>.json at the repo root, or wherever $2 points).
+#
+# Usage: bench/run_benches.sh [build_dir] [out.json]
+#   build_dir  default: build
+#   out.json   default: bench_snapshot.json
+#
+# Knobs: MALTHUS_BENCH_MS (measurement interval per point, default 100).
+set -euo pipefail
+
+build_dir="${1:-build}"
+out="${2:-bench_snapshot.json}"
+
+benches=(
+  bench_handover_latency
+  bench_fig02_tas_vs_mcs
+  bench_abl_spin_budget
+)
+
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+
+for b in "${benches[@]}"; do
+  bin="$build_dir/$b"
+  if [[ ! -x "$bin" ]]; then
+    echo "error: $bin not built (cmake --build $build_dir --target $b)" >&2
+    exit 1
+  fi
+  echo "== $b" >&2
+  "$bin" --benchmark_format=json >"$tmpdir/$b.json"
+done
+
+python3 - "$out" "$tmpdir" "${benches[@]}" <<'EOF'
+import json, subprocess, sys
+
+out, tmpdir, names = sys.argv[1], sys.argv[2], sys.argv[3:]
+
+def git(*args):
+    try:
+        return subprocess.check_output(("git", *args), text=True).strip()
+    except Exception:
+        return None
+
+snapshot = {
+    "commit": git("rev-parse", "HEAD"),
+    "benchmarks": {},
+}
+for name in names:
+    with open(f"{tmpdir}/{name}.json") as f:
+        data = json.load(f)
+    snapshot["context"] = data.get("context", {})
+    snapshot["benchmarks"][name] = [
+        {k: v for k, v in b.items() if not k.startswith("cpu_")}
+        for b in data.get("benchmarks", [])
+    ]
+
+with open(out, "w") as f:
+    json.dump(snapshot, f, indent=2, sort_keys=True)
+print(f"wrote {out}")
+EOF

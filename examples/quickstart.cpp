@@ -3,8 +3,11 @@
 //
 //   build/examples/quickstart
 //
-// Demonstrates: std::scoped_lock compatibility, the instrumentation
-// counters (culls / re-provisions / fairness grants), and attaching an
+// Demonstrates: std::scoped_lock compatibility, opting into anticipatory
+// handover with HandoverLockGuard (wake-ahead: the unlocking thread posts
+// its heir's wake permit before releasing, hiding the kernel wake behind
+// the critical-section tail), the instrumentation counters (culls /
+// re-provisions / fairness grants / elided kernel wakes), and attaching an
 // admission log to get the paper's fairness metrics.
 #include <cstdio>
 #include <mutex>
@@ -12,7 +15,9 @@
 #include <vector>
 
 #include "src/core/mcscr.h"
+#include "src/locks/handover_guard.h"
 #include "src/metrics/admission_log.h"
+#include "src/platform/park.h"
 
 int main() {
   malthus::MalthusianMutex mutex;
@@ -25,10 +30,18 @@ int main() {
 
   std::vector<std::thread> workers;
   for (int t = 0; t < kThreads; ++t) {
-    workers.emplace_back([&] {
+    workers.emplace_back([&, t] {
       for (int i = 0; i < kItersPerThread; ++i) {
-        std::scoped_lock guard(mutex);  // Standard RAII locking.
-        ++shared_counter;
+        if (t % 2 == 0) {
+          std::scoped_lock guard(mutex);  // Standard RAII locking works.
+          ++shared_counter;
+        } else {
+          // Opt-in wake-ahead: identical semantics, but the destructor
+          // fires PrepareHandover() just before unlock so a parked heir is
+          // already waking while we release.
+          malthus::HandoverLockGuard guard(mutex);
+          ++shared_counter;
+        }
       }
     });
   }
@@ -44,6 +57,12 @@ int main() {
               static_cast<unsigned long long>(mutex.reprovisions()));
   std::printf("fairness grants   = %llu\n",
               static_cast<unsigned long long>(mutex.fairness_grants()));
+  std::printf("wake-aheads       = %llu\n",
+              static_cast<unsigned long long>(malthus::TotalWakeAheads()));
+  std::printf("elided kern wakes = %llu\n",
+              static_cast<unsigned long long>(malthus::TotalElidedKernelWakes()));
+  std::printf("kernel parks      = %llu\n",
+              static_cast<unsigned long long>(malthus::TotalKernelParks()));
   std::printf("fairness          : %s\n", log.Report().ToString().c_str());
   return shared_counter == static_cast<std::uint64_t>(kThreads) * kItersPerThread ? 0 : 1;
 }

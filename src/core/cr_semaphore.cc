@@ -1,5 +1,7 @@
 #include "src/core/cr_semaphore.h"
 
+#include "src/waiting/policy.h"
+
 namespace malthus {
 
 void CrSemaphore::Wait() {
@@ -28,9 +30,10 @@ void CrSemaphore::Wait() {
   waiters_.fetch_add(1, std::memory_order_relaxed);
   Unguard();
 
-  while (w.state.load(std::memory_order_acquire) == kQueued) {
-    self.parker.Park();
-  }
+  // Spin-then-park on our own grant word: a poster's PreparePost() hint or
+  // direct handoff is then usually observed in userspace. The adaptive
+  // budget tracks this semaphore's real handoff latency.
+  SpinThenParkPolicy::Await(w.state, kQueued, self.parker, spin_budget_);
   // The permit was handed to us directly by a poster; nothing to consume.
 }
 
@@ -62,9 +65,25 @@ void CrSemaphore::Post() {
   Unguard();
   if (w != nullptr) {
     Parker* parker = w->parker;  // w's frame may die once state is stored.
+    // Release pairs with the waiter's acquire load of w->state: the permit
+    // handoff (and any state the poster published before Post) becomes
+    // visible before the waiter returns from Wait().
     w->state.store(kGrantedPermit, std::memory_order_release);
     parker->Unpark();
   }
+}
+
+void CrSemaphore::PreparePost() {
+  // The hint is posted while holding the guard: a queued waiter can only be
+  // granted (and its thread only exit) through Post(), which also needs the
+  // guard, so head_->parker cannot be torn down under us. The cost is at
+  // most one futex syscall inside the guard — acceptable for a hint that
+  // exists to move that same syscall off the Post() path.
+  Guard();
+  if (head_ != nullptr) {
+    head_->parker->WakeAhead();
+  }
+  Unguard();
 }
 
 std::int64_t CrSemaphore::Count() const {

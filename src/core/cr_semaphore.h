@@ -19,18 +19,22 @@
 #include "src/platform/cpu.h"
 #include "src/platform/thread_registry.h"
 #include "src/rng/xorshift.h"
+#include "src/waiting/spin_budget.h"
 
 namespace malthus {
 
 struct CrSemaphoreOptions {
   double append_probability = 1.0;  // 1.0 = FIFO, 0.0 = LIFO
+  // Spin-then-park budget for waiters (kAutoSpinBudget = adaptive).
+  std::uint32_t spin_budget = kAutoSpinBudget;
 };
 
 class CrSemaphore {
  public:
-  explicit CrSemaphore(std::int64_t initial = 0) : count_(initial) {}
+  explicit CrSemaphore(std::int64_t initial = 0)
+      : count_(initial), spin_budget_(kAutoSpinBudget) {}
   CrSemaphore(std::int64_t initial, const CrSemaphoreOptions& opts)
-      : count_(initial), opts_(opts) {}
+      : count_(initial), opts_(opts), spin_budget_(opts.spin_budget) {}
   CrSemaphore(const CrSemaphore&) = delete;
   CrSemaphore& operator=(const CrSemaphore&) = delete;
 
@@ -38,10 +42,21 @@ class CrSemaphore {
   bool TryWait();
   void Post();
 
+  // Anticipatory handover (wake-ahead, §5.2): call shortly before a Post()
+  // to start the head waiter's kernel wakeup early, so the eventual direct
+  // permit handoff finds it runnable (or back to spinning) and needs no
+  // futex syscall. If another poster grants it first, or there is no
+  // waiter, the hint is a benign stale permit.
+  void PreparePost();
+
   std::int64_t Count() const;
   std::size_t WaiterCount() const { return waiters_.load(std::memory_order_relaxed); }
 
-  void set_options(const CrSemaphoreOptions& opts) { opts_ = opts; }
+  void set_options(const CrSemaphoreOptions& opts) {
+    opts_ = opts;
+    spin_budget_.Reset(opts.spin_budget);
+  }
+  AdaptiveSpinBudget& spin_budget() { return spin_budget_; }
 
  private:
   static constexpr std::uint32_t kQueued = 0;
@@ -67,6 +82,7 @@ class CrSemaphore {
   Waiter* tail_ = nullptr;
   std::atomic<std::size_t> waiters_{0};
   CrSemaphoreOptions opts_;
+  AdaptiveSpinBudget spin_budget_;
 };
 
 // folly-equivalent strict-LIFO semaphore.

@@ -28,6 +28,7 @@
 #include "src/metrics/admission_log.h"
 #include "src/rng/xorshift.h"
 #include "src/waiting/policy.h"
+#include "src/waiting/spin_budget.h"
 
 namespace malthus {
 
@@ -39,10 +40,9 @@ struct LifoCrOptions {
 template <typename WaitPolicy>
 class LifoCrLock {
  public:
-  LifoCrLock() { opts_.spin_budget = ResolveSpinBudget(opts_.spin_budget); }
-  explicit LifoCrLock(const LifoCrOptions& opts) : opts_(opts) {
-    opts_.spin_budget = ResolveSpinBudget(opts_.spin_budget);
-  }
+  LifoCrLock() : spin_budget_(kAutoSpinBudget) {}
+  explicit LifoCrLock(const LifoCrOptions& opts)
+      : opts_(opts), spin_budget_(opts.spin_budget) {}
   LifoCrLock(const LifoCrLock&) = delete;
   LifoCrLock& operator=(const LifoCrLock&) = delete;
 
@@ -67,15 +67,15 @@ class LifoCrLock {
                      std::memory_order_relaxed);
       if (word_.compare_exchange_weak(cur, reinterpret_cast<std::uintptr_t>(me),
                                       std::memory_order_release, std::memory_order_relaxed)) {
-        WaitPolicy::Await(me->status, kWaiting, self.parker, opts_.spin_budget);
+        WaitPolicy::Await(me->status, kWaiting, self.parker, spin_budget_);
         break;  // Granted; our node has been unlinked by the granter.
       }
     }
     if (me != nullptr) {
       ReleaseQNode(me);
     }
-    if (recorder_ != nullptr) {
-      recorder_->Record(self.id);
+    if (AdmissionLog* recorder = recorder_.load(std::memory_order_relaxed)) {
+      recorder->Record(self.id);
     }
   }
 
@@ -85,7 +85,35 @@ class LifoCrLock {
                                          std::memory_order_relaxed);
   }
 
+  // Anticipatory handover (wake-ahead, §5.2): the next grantee is the stack
+  // top — the most recently arrived waiter, which LIFO pops. Only the owner
+  // pops, so the observed top stays on the stack until our unlock(); a
+  // fresher arrival pushing above it before then leaves the observed node a
+  // benign stale permit (it becomes the granted top's successor prediction
+  // miss). A rare fairness grant to the stack bottom mispredicts likewise.
+  void PrepareHandover() {
+    if constexpr (WaitPolicy::kParks) {
+      const std::uintptr_t cur = word_.load(std::memory_order_acquire);
+      if (cur == kFree || cur == kHeldNoWaiters) {
+        return;
+      }
+      reinterpret_cast<QNode*>(cur)->parker->WakeAhead();
+    }
+  }
+
   void unlock() {
+    // Memory-order map of the grant path:
+    //   * The initial acquire load pairs with arrivals' release push CAS, so
+    //     top->next (stored before the push) is safe to read below.
+    //   * kHeldNoWaiters -> kFree needs release: the next fast-path acquirer
+    //     takes the critical section through the lock word itself.
+    //   * The pop CAS does NOT need release: the granted waiter receives the
+    //     critical section via Grant()'s release store to its status flag,
+    //     and later readers of the lock word still synchronize with each
+    //     node's original pusher because every intervening push/pop is a RMW
+    //     and RMWs extend the pusher's release sequence regardless of their
+    //     own ordering. Acquire (both orderings) suffices: the reloaded
+    //     `cur` is dereferenced on the next iteration.
     std::uintptr_t cur = word_.load(std::memory_order_acquire);
     while (true) {
       if (cur == kHeldNoWaiters) {
@@ -96,6 +124,9 @@ class LifoCrLock {
         continue;  // A waiter pushed concurrently.
       }
       QNode* top = reinterpret_cast<QNode*>(cur);
+      // Relaxed: ordered after the acquire that published `top` (address
+      // dependency on the same load); the pusher stored next before its
+      // release CAS.
       QNode* below = top->next.load(std::memory_order_relaxed);
 
       if (below != nullptr && opts_.fairness_one_in != 0 &&
@@ -119,11 +150,12 @@ class LifoCrLock {
         return;
       }
 
-      // Normal LIFO pop of the most recently arrived waiter.
-      const std::uintptr_t newtop =
-          below == nullptr ? kHeldNoWaiters : reinterpret_cast<std::uintptr_t>(below);
-      if (word_.compare_exchange_weak(cur, newtop, std::memory_order_acq_rel,
-                                      std::memory_order_acquire)) {
+      // Normal LIFO pop of the most recently arrived waiter. Acquire-only:
+      // see the memory-order map above (release would be accidental
+      // over-strength on the handover fast path).
+      if (word_.compare_exchange_weak(
+              cur, below == nullptr ? kHeldNoWaiters : reinterpret_cast<std::uintptr_t>(below),
+              std::memory_order_acquire, std::memory_order_acquire)) {
         Grant(top);
         return;
       }
@@ -131,11 +163,16 @@ class LifoCrLock {
     }
   }
 
-  void set_recorder(AdmissionLog* recorder) { recorder_ = recorder; }
+  // Safe to call while other threads are locking (tests attach recorders
+  // mid-run to skip warmup); hence the atomic pointer.
+  void set_recorder(AdmissionLog* recorder) {
+    recorder_.store(recorder, std::memory_order_relaxed);
+  }
   void set_options(const LifoCrOptions& opts) {
     opts_ = opts;
-    opts_.spin_budget = ResolveSpinBudget(opts_.spin_budget);
+    spin_budget_.Reset(opts.spin_budget);
   }
+  AdaptiveSpinBudget& spin_budget() { return spin_budget_; }
 
   std::uint64_t fairness_grants() const {
     return fairness_grants_.load(std::memory_order_relaxed);
@@ -155,8 +192,9 @@ class LifoCrLock {
 
   alignas(kCacheLineSize) std::atomic<std::uintptr_t> word_{kFree};
   std::atomic<std::uint64_t> fairness_grants_{0};
-  AdmissionLog* recorder_ = nullptr;
+  std::atomic<AdmissionLog*> recorder_{nullptr};
   LifoCrOptions opts_;
+  AdaptiveSpinBudget spin_budget_;
 };
 
 using LifoCrSpinLock = LifoCrLock<SpinPolicy>;

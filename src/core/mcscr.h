@@ -35,6 +35,7 @@
 #include "src/metrics/admission_log.h"
 #include "src/rng/xorshift.h"
 #include "src/waiting/policy.h"
+#include "src/waiting/spin_budget.h"
 
 namespace malthus {
 
@@ -45,23 +46,25 @@ struct McscrOptions {
   // Max culls per unlock. 0 disables CR entirely (degenerates to MCS);
   // UINT32_MAX drains all surplus in one unlock.
   std::uint32_t cull_limit = 1;
-  // kAutoSpinBudget resolves to the calibrated context-switch round trip.
+  // kAutoSpinBudget enables the per-lock adaptive budget (seeded from the
+  // calibrated context-switch round trip); any other value pins the budget.
   std::uint32_t spin_budget = kAutoSpinBudget;
   // Anticipatory warmup (paper §5.1, optional): when handing off, also
   // unpark the waiter *behind* the successor so that by the time it is
   // granted it is spinning rather than blocked in the kernel. Increases the
   // odds that direct handoff lands on a runnable thread, at the cost of one
   // (possibly kernel-entering) unpark inside the critical section.
+  // Complementary to PrepareHandover(), which warms the *current* heir from
+  // the owner's critical-section tail.
   bool anticipatory_warmup = false;
 };
 
 template <typename WaitPolicy>
 class McscrLock {
  public:
-  McscrLock() { opts_.spin_budget = ResolveSpinBudget(opts_.spin_budget); }
-  explicit McscrLock(const McscrOptions& opts) : opts_(opts) {
-    opts_.spin_budget = ResolveSpinBudget(opts_.spin_budget);
-  }
+  McscrLock() : spin_budget_(kAutoSpinBudget) {}
+  explicit McscrLock(const McscrOptions& opts)
+      : opts_(opts), spin_budget_(opts.spin_budget) {}
   McscrLock(const McscrLock&) = delete;
   McscrLock& operator=(const McscrLock&) = delete;
 
@@ -72,11 +75,11 @@ class McscrLock {
     QNode* prev = tail_.exchange(me, std::memory_order_acq_rel);
     if (prev != nullptr) {
       prev->next.store(me, std::memory_order_release);
-      WaitPolicy::Await(me->status, kWaiting, self.parker, opts_.spin_budget);
+      WaitPolicy::Await(me->status, kWaiting, self.parker, spin_budget_);
     }
     owner_ = me;
-    if (recorder_ != nullptr) {
-      recorder_->Record(self.id);
+    if (AdmissionLog* recorder = recorder_.load(std::memory_order_relaxed)) {
+      recorder->Record(self.id);
     }
   }
 
@@ -88,13 +91,51 @@ class McscrLock {
     if (tail_.compare_exchange_strong(expected, me, std::memory_order_acq_rel,
                                       std::memory_order_relaxed)) {
       owner_ = me;
-      if (recorder_ != nullptr) {
-        recorder_->Record(self.id);
+      if (AdmissionLog* recorder = recorder_.load(std::memory_order_relaxed)) {
+        recorder->Record(self.id);
       }
       return true;
     }
     ReleaseQNode(me);
     return false;
+  }
+
+  // Anticipatory handover (wake-ahead, §5.2): called by the owner near the
+  // end of its critical section, before unlock(). Predicts the node the
+  // coming unlock() will grant — mirroring the cull walk without mutating —
+  // and posts its wake permit so a parked heir overlaps its kernel wakeup
+  // with the tail of the critical section. Mispredictions (a raced arrival,
+  // a fairness grant winning the Bernoulli trial) leave a stale permit,
+  // which only degrades that waiter to spinning.
+  void PrepareHandover() {
+    if constexpr (WaitPolicy::kParks) {
+      QNode* me = owner_;
+      QNode* heir = me->next.load(std::memory_order_acquire);
+      if (heir == nullptr) {
+        // Likely deficit path: unlock() would re-provision from the PS
+        // head. ps_head_ is owner-protected, and we are the owner.
+        if (ps_head_ != nullptr) {
+          ps_head_->parker->WakeAhead();
+        }
+        return;
+      }
+      // Mirror the surplus cull: intermediate nodes (those that themselves
+      // have a successor, up to cull_limit) are excised, so the grant lands
+      // past them. Chain nodes are pinned by their waiting threads.
+      // KEEP IN SYNC with the cull loop in unlock(): if the cull policy
+      // changes there, this prediction must change with it, or every
+      // wake-ahead silently becomes a stale permit plus a wasted syscall.
+      std::uint32_t culled = 0;
+      while (culled < opts_.cull_limit) {
+        QNode* after = heir->next.load(std::memory_order_acquire);
+        if (after == nullptr) {
+          break;
+        }
+        heir = after;
+        ++culled;
+      }
+      heir->parker->WakeAhead();
+    }
   }
 
   void unlock() {
@@ -157,6 +198,9 @@ class McscrLock {
       // valid here; a stale permit is benign if it gets culled instead.
       QNode* heir = next->next.load(std::memory_order_acquire);
       if (heir != nullptr) {
+        // Plain Unpark, not WakeAhead: warmups_ is this feature's own
+        // instrument, and the wake-ahead counters should only tick for
+        // callers that opted into PrepareHandover().
         heir->parker->Unpark();
         warmups_.fetch_add(1, std::memory_order_relaxed);
       }
@@ -165,12 +209,17 @@ class McscrLock {
     ReleaseQNode(me);
   }
 
-  void set_recorder(AdmissionLog* recorder) { recorder_ = recorder; }
+  // Safe to call while other threads are locking (tests attach recorders
+  // mid-run to skip warmup); hence the atomic pointer.
+  void set_recorder(AdmissionLog* recorder) {
+    recorder_.store(recorder, std::memory_order_relaxed);
+  }
   void set_options(const McscrOptions& opts) {
     opts_ = opts;
-    opts_.spin_budget = ResolveSpinBudget(opts_.spin_budget);
+    spin_budget_.Reset(opts.spin_budget);
   }
   const McscrOptions& options() const { return opts_; }
+  AdaptiveSpinBudget& spin_budget() { return spin_budget_; }
 
   // Instrumentation. ps_size is exact only while the lock is quiescent.
   std::uint64_t culls() const { return culls_.load(std::memory_order_relaxed); }
@@ -183,9 +232,17 @@ class McscrLock {
 
  private:
   void Grant(QNode* next) {
+    // Pre-read: the waiter may recycle or free its node the moment it
+    // observes the grant flag.
+    Parker* parker = next->parker;
     owner_ = next;
+    // Release pairs with the waiter's acquire load of its status in
+    // Await(): it transfers the critical section, the owner_ handoff
+    // above, and all owner-protected passive-list mutations this unlock
+    // performed. The subsequent Wake() needs no ordering of its own — a
+    // permit is only a hint and the waiter re-checks the flag.
     next->status.store(kGranted, std::memory_order_release);
-    WaitPolicy::Wake(*next->parker);
+    WaitPolicy::Wake(*parker);
   }
 
   // Grafts `node` into the chain as the owner's immediate successor and
@@ -256,8 +313,9 @@ class McscrLock {
   std::atomic<std::uint64_t> reprovisions_{0};
   std::atomic<std::uint64_t> fairness_grants_{0};
   std::atomic<std::uint64_t> warmups_{0};
-  AdmissionLog* recorder_ = nullptr;
+  std::atomic<AdmissionLog*> recorder_{nullptr};
   McscrOptions opts_;
+  AdaptiveSpinBudget spin_budget_;
 };
 
 using McscrSpinLock = McscrLock<SpinPolicy>;    // MCSCR-S

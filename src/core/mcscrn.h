@@ -24,6 +24,7 @@
 #include "src/metrics/admission_log.h"
 #include "src/rng/xorshift.h"
 #include "src/waiting/policy.h"
+#include "src/waiting/spin_budget.h"
 
 namespace malthus {
 
@@ -36,10 +37,9 @@ struct McscrnOptions {
 template <typename WaitPolicy>
 class McscrnLock {
  public:
-  McscrnLock() { opts_.spin_budget = ResolveSpinBudget(opts_.spin_budget); }
-  explicit McscrnLock(const McscrnOptions& opts) : opts_(opts) {
-    opts_.spin_budget = ResolveSpinBudget(opts_.spin_budget);
-  }
+  McscrnLock() : spin_budget_(kAutoSpinBudget) {}
+  explicit McscrnLock(const McscrnOptions& opts)
+      : opts_(opts), spin_budget_(opts.spin_budget) {}
   McscrnLock(const McscrnLock&) = delete;
   McscrnLock& operator=(const McscrnLock&) = delete;
 
@@ -51,11 +51,53 @@ class McscrnLock {
     QNode* prev = tail_.exchange(me, std::memory_order_acq_rel);
     if (prev != nullptr) {
       prev->next.store(me, std::memory_order_release);
-      WaitPolicy::Await(me->status, kWaiting, self.parker, opts_.spin_budget);
+      WaitPolicy::Await(me->status, kWaiting, self.parker, spin_budget_);
     }
     owner_ = me;
-    if (recorder_ != nullptr) {
-      recorder_->Record(self.id);
+    if (AdmissionLog* recorder = recorder_.load(std::memory_order_relaxed)) {
+      recorder->Record(self.id);
+    }
+  }
+
+  // Anticipatory handover (wake-ahead, §5.2): predicts the grantee of the
+  // coming unlock() by mirroring the bounded cull scan (remote and surplus
+  // nodes are excised, so the grant lands past them) and posts its wake
+  // permit from the tail of the critical section. A misprediction — raced
+  // arrival or a home-rotation trial firing — leaves a benign stale permit.
+  void PrepareHandover() {
+    if constexpr (WaitPolicy::kParks) {
+      QNode* me = owner_;
+      QNode* heir = me->next.load(std::memory_order_acquire);
+      if (heir == nullptr) {
+        // Deficit path preview: unlock() refills from the local PS first,
+        // then the remote list. Both are owner-protected.
+        QNode* refill = ps_head_ != nullptr ? ps_head_ : remote_head_;
+        if (refill != nullptr) {
+          refill->parker->WakeAhead();
+        }
+        return;
+      }
+      // KEEP IN SYNC with the cull scan in unlock(): a policy change there
+      // that is not mirrored here silently turns every wake-ahead into a
+      // stale permit plus a wasted syscall.
+      std::uint32_t scanned = 0;
+      bool local_culled = false;
+      while (scanned < opts_.cull_scan_limit) {
+        QNode* after = heir->next.load(std::memory_order_acquire);
+        if (after == nullptr) {
+          break;
+        }
+        if (heir->numa_node != home_node_) {
+          // Would be culled to the remote list.
+        } else if (!local_culled) {
+          local_culled = true;  // Would be the one local surplus cull.
+        } else {
+          break;
+        }
+        heir = after;
+        ++scanned;
+      }
+      heir->parker->WakeAhead();
     }
   }
 
@@ -139,11 +181,16 @@ class McscrnLock {
     ReleaseQNode(me);
   }
 
-  void set_recorder(AdmissionLog* recorder) { recorder_ = recorder; }
+  // Safe to call while other threads are locking (tests attach recorders
+  // mid-run to skip warmup); hence the atomic pointer.
+  void set_recorder(AdmissionLog* recorder) {
+    recorder_.store(recorder, std::memory_order_relaxed);
+  }
   void set_options(const McscrnOptions& opts) {
     opts_ = opts;
-    opts_.spin_budget = ResolveSpinBudget(opts_.spin_budget);
+    spin_budget_.Reset(opts.spin_budget);
   }
+  AdaptiveSpinBudget& spin_budget() { return spin_budget_; }
 
   std::uint64_t culls() const { return culls_.load(std::memory_order_relaxed); }
   std::uint64_t remote_culls() const { return remote_culls_.load(std::memory_order_relaxed); }
@@ -162,9 +209,14 @@ class McscrnLock {
     if (next->numa_node != owner_->numa_node) {
       lock_migrations_.fetch_add(1, std::memory_order_relaxed);
     }
+    // Pre-read: the waiter may recycle or free its node the moment it
+    // observes the grant flag.
+    Parker* parker = next->parker;
     owner_ = next;
+    // Release pairs with the waiter's acquire in Await(); see McscrLock::
+    // Grant for the full pairing rationale.
     next->status.store(kGranted, std::memory_order_release);
-    WaitPolicy::Wake(*next->parker);
+    WaitPolicy::Wake(*parker);
   }
 
   // Picks the eldest remote thread, makes its node home, drains all other
@@ -251,8 +303,9 @@ class McscrnLock {
   std::atomic<std::uint64_t> home_rotations_{0};
   std::atomic<std::uint64_t> lock_migrations_{0};
   std::atomic<std::uint64_t> grants_{0};
-  AdmissionLog* recorder_ = nullptr;
+  std::atomic<AdmissionLog*> recorder_{nullptr};
   McscrnOptions opts_;
+  AdaptiveSpinBudget spin_budget_;
 };
 
 using McscrnSpinLock = McscrnLock<SpinPolicy>;

@@ -23,8 +23,12 @@ class AnyLock {
   virtual void unlock() = 0;
   virtual std::string name() const = 0;
 
+  // Anticipatory handover hint (see locks/handover_guard.h); a no-op for
+  // algorithms without wake-ahead.
+  virtual void PrepareHandover() {}
+
   // Attaches an admission recorder, if the algorithm supports one.
-  virtual void set_recorder(AdmissionLog* recorder) {}
+  virtual void set_recorder(AdmissionLog* /*recorder*/) {}
 };
 
 // Wraps any lock that satisfies BasicLockable (and optionally exposes
@@ -40,6 +44,12 @@ class LockAdapter final : public AnyLock {
   void lock() override { impl_.lock(); }
   void unlock() override { impl_.unlock(); }
   std::string name() const override { return name_; }
+
+  void PrepareHandover() override {
+    if constexpr (requires(L& l) { l.PrepareHandover(); }) {
+      impl_.PrepareHandover();
+    }
+  }
 
   void set_recorder(AdmissionLog* recorder) override {
     if constexpr (requires(L & l, AdmissionLog* r) { l.set_recorder(r); }) {

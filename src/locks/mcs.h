@@ -7,7 +7,9 @@
 // no tuning parameters. FIFO + direct handoff interacts poorly with parking:
 // the next thread granted is the one that has waited longest and is thus the
 // most likely to have exhausted its spin budget and parked — which is
-// exactly the pathology MCSCR's mostly-LIFO admission avoids.
+// exactly the pathology MCSCR's mostly-LIFO admission avoids, and which
+// PrepareHandover() (wake-ahead) mitigates by starting the heir's kernel
+// wakeup before the release.
 #ifndef MALTHUS_SRC_LOCKS_MCS_H_
 #define MALTHUS_SRC_LOCKS_MCS_H_
 
@@ -16,13 +18,14 @@
 #include "src/locks/lock_base.h"
 #include "src/metrics/admission_log.h"
 #include "src/waiting/policy.h"
+#include "src/waiting/spin_budget.h"
 
 namespace malthus {
 
 template <typename WaitPolicy>
 class McsLock {
  public:
-  McsLock() : spin_budget_(ResolveSpinBudget(kAutoSpinBudget)) {}
+  McsLock() = default;
   McsLock(const McsLock&) = delete;
   McsLock& operator=(const McsLock&) = delete;
 
@@ -30,14 +33,17 @@ class McsLock {
     ThreadCtx& self = Self();
     QNode* me = AcquireQNode();
     me->PrepareForWait(self);
+    // acq_rel: acquire so the predecessor's node fields (published by its
+    // own enqueue) are visible before we store through prev; release so the
+    // successor that swaps us out sees our PrepareForWait() stores.
     QNode* prev = tail_.exchange(me, std::memory_order_acq_rel);
     if (prev != nullptr) {
       prev->next.store(me, std::memory_order_release);
       WaitPolicy::Await(me->status, kWaiting, self.parker, spin_budget_);
     }
     owner_ = me;
-    if (recorder_ != nullptr) {
-      recorder_->Record(self.id);
+    if (AdmissionLog* recorder = recorder_.load(std::memory_order_relaxed)) {
+      recorder->Record(self.id);
     }
   }
 
@@ -49,8 +55,8 @@ class McsLock {
     if (tail_.compare_exchange_strong(expected, me, std::memory_order_acq_rel,
                                       std::memory_order_relaxed)) {
       owner_ = me;
-      if (recorder_ != nullptr) {
-        recorder_->Record(self.id);
+      if (AdmissionLog* recorder = recorder_.load(std::memory_order_relaxed)) {
+        recorder->Record(self.id);
       }
       return true;
     }
@@ -58,11 +64,32 @@ class McsLock {
     return false;
   }
 
+  // Anticipatory handover (wake-ahead, §5.2): called by the owner near the
+  // end of its critical section, before unlock(). If a successor is already
+  // queued, post its wake permit now: a parked heir overlaps its kernel
+  // wakeup with the tail of the critical section, and a spinning heir's
+  // eventual grant collapses into a zero-syscall permit post. MCS is strict
+  // FIFO, so the successor observed here is exactly the node unlock() will
+  // grant; even were it not, a stale permit only degrades the heir to
+  // spinning (the parking litmus test).
+  void PrepareHandover() {
+    if constexpr (WaitPolicy::kParks) {
+      QNode* next = owner_->next.load(std::memory_order_acquire);
+      if (next != nullptr) {
+        // The chain pins `next` (its thread is blocked in Await until we
+        // grant), so its Parker is safe to poke.
+        next->parker->WakeAhead();
+      }
+    }
+  }
+
   void unlock() {
     QNode* me = owner_;
     QNode* next = me->next.load(std::memory_order_acquire);
     if (next == nullptr) {
       QNode* expected = me;
+      // Release on success: the next arriving thread's acq_rel tail swap
+      // must observe our critical section.
       if (tail_.compare_exchange_strong(expected, nullptr, std::memory_order_release,
                                         std::memory_order_relaxed)) {
         ReleaseQNode(me);
@@ -74,22 +101,36 @@ class McsLock {
     ReleaseQNode(me);
   }
 
-  void set_recorder(AdmissionLog* recorder) { recorder_ = recorder; }
-  void set_spin_budget(std::uint32_t budget) { spin_budget_ = budget; }
+  // Safe to call while other threads are locking (tests attach recorders
+  // mid-run to skip warmup); hence the atomic pointer.
+  void set_recorder(AdmissionLog* recorder) {
+    recorder_.store(recorder, std::memory_order_relaxed);
+  }
+  void set_spin_budget(std::uint32_t budget) { spin_budget_.Pin(budget); }
+
+  AdaptiveSpinBudget& spin_budget() { return spin_budget_; }
 
  private:
   void Grant(QNode* next) {
+    // The waiter may recycle (or, at thread exit, free) its node as soon as
+    // it observes the grant, so the wake channel is read before the store.
+    // The Parker itself stays valid even past thread exit: ThreadCtx is
+    // intentionally leaked (see thread_registry.cc), so the post-release
+    // Wake below can never dangle.
+    Parker* parker = next->parker;
     owner_ = next;  // Published by the release store below.
+    // Release pairs with the acquire load in the waiter's Await: it
+    // transfers both the critical section and the owner_ handoff above.
     next->status.store(kGranted, std::memory_order_release);
-    WaitPolicy::Wake(*next->parker);
+    WaitPolicy::Wake(*parker);
   }
 
   std::atomic<QNode*> tail_{nullptr};
   // The owner's queue node. Written by the granter before the releasing
   // store of the grant flag; read only by the owner at unlock.
   QNode* owner_ = nullptr;
-  AdmissionLog* recorder_ = nullptr;
-  std::uint32_t spin_budget_;
+  std::atomic<AdmissionLog*> recorder_{nullptr};
+  AdaptiveSpinBudget spin_budget_;
 };
 
 using McsSpinLock = McsLock<SpinPolicy>;

@@ -29,7 +29,7 @@ class SimpleLru {
   SimpleLru& operator=(const SimpleLru&) = delete;
 
   // Returns the cached value, promoting the entry; nullopt on miss.
-  std::optional<std::uint64_t> Lookup(std::uint64_t key, std::uint32_t tid = 0) {
+  std::optional<std::uint64_t> Lookup(std::uint64_t key, std::uint32_t /*tid*/ = 0) {
     lock_.lock();
     auto it = map_.find(key);
     if (it == map_.end()) {

@@ -54,8 +54,8 @@ std::uint32_t Calibrate() {
       return static_cast<std::uint32_t>(v);
     }
   }
-  const double spin_ns = MeasureSpinIterationNs();
-  const double round_trip_ns = MeasureParkRoundTripNs();
+  const double spin_ns = SpinIterationNs();
+  const double round_trip_ns = ParkRoundTripNs();
   // The ping-pong measures the best case (both threads hot, CPUs busy); an
   // in-situ wake of a passivated thread pays cold caches and idle-CPU
   // dispatch on top, so the budget covers a multiple of the best-case round
@@ -72,6 +72,16 @@ std::uint32_t Calibrate() {
 std::uint32_t CalibratedSpinBudget() {
   static const std::uint32_t budget = Calibrate();
   return budget;
+}
+
+double SpinIterationNs() {
+  static const double ns = MeasureSpinIterationNs();
+  return ns;
+}
+
+double ParkRoundTripNs() {
+  static const double ns = MeasureParkRoundTripNs();
+  return ns;
 }
 
 }  // namespace malthus

@@ -11,6 +11,11 @@
 //   budget = round_trip_ns / spin_iteration_ns
 //
 // clamped to a sane range. MALTHUS_SPIN_BUDGET overrides the measurement.
+//
+// The one-shot measurement is only the *seed*: per-lock budgets adapt at
+// runtime via waiting/spin_budget.h, which tracks an EMA of each lock's
+// actually observed parked-handover latency and re-derives the budget from
+// it using SpinIterationNs().
 #ifndef MALTHUS_SRC_PLATFORM_CALIBRATE_H_
 #define MALTHUS_SRC_PLATFORM_CALIBRATE_H_
 
@@ -21,6 +26,14 @@ namespace malthus {
 // Spin iterations covering one park/unpark round trip. Measured on first
 // call (a few ms), cached thereafter. Thread-safe.
 std::uint32_t CalibratedSpinBudget();
+
+// Measured cost of one polite spin-loop iteration (CpuRelax + load), in
+// nanoseconds. Measured on first call, cached thereafter. Thread-safe.
+double SpinIterationNs();
+
+// Measured best-case park/unpark ping-pong round trip, in nanoseconds.
+// Measured on first call, cached thereafter. Thread-safe.
+double ParkRoundTripNs();
 
 }  // namespace malthus
 

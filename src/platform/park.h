@@ -2,17 +2,27 @@
 //
 // This reproduces the Solaris lwp_park/lwp_unpark facility the paper builds
 // on (§5.1 "Parking"), implemented over Linux futexes. The construct is a
-// restricted-range semaphore taking only the values 0 (neutral) and 1
-// (unpark pending):
+// restricted-range semaphore taking the values 0 (neutral), 1 (unpark
+// pending) and 2 (owner blocked — or about to block — in the kernel):
 //
 //   * Park() blocks the caller until a permit is available, then consumes it.
 //     If an Unpark() arrived first, Park() consumes the pending permit and
-//     returns immediately without entering the kernel.
-//   * Unpark() posts a permit and wakes the owner if it is blocked. Unparking
-//     a thread that is spinning (not yet blocked in the kernel) is a single
-//     atomic exchange — no syscall — which is exactly the property that makes
-//     spin-then-park profitable.
-//   * ParkFor() is the timed variant used by LOITER's standby thread.
+//     returns immediately without entering the kernel. Before blocking, the
+//     owner advertises kParked so wakers know a futex syscall is required.
+//   * Unpark() posts a permit; it issues a futex wake *only* when the owner
+//     advertised kParked. Unparking a thread that is spinning (or not
+//     waiting at all) is a single atomic exchange — no syscall — which is
+//     exactly the property that makes spin-then-park and wake-ahead
+//     succession profitable. These zero-syscall grants are counted as
+//     elided kernel wakes.
+//   * WakeAhead() is the anticipatory-handover variant of Unpark(): a lock
+//     owner calls it *before* releasing, so a parked heir's kernel wakeup
+//     overlaps the tail of the critical section and the heir is already
+//     runnable (or back to spinning) by the time the grant flag flips.
+//     Semantically identical to Unpark(); tracked separately.
+//   * ParkFor() is the timed variant used by LOITER's standby thread. A
+//     permit that races the timeout is consumed (ParkFor returns true) or
+//     left pending for the next Park() — it is never lost.
 //
 // Redundant Unpark() calls collapse into one pending permit. Callers must
 // re-check their wait condition after Park() returns (the paper's litmus
@@ -23,7 +33,9 @@
 // actually blocked in the kernel. Each such call is one voluntary context
 // switch; the Figure-4 benches report this (getrusage's ru_nvcsw is not
 // populated in some sandboxed kernels, and this counter is precisely the
-// lock-induced subset the paper's column measures).
+// lock-induced subset the paper's column measures). TotalKernelWakes() and
+// TotalElidedKernelWakes() are the granter-side mirror: wakes that paid a
+// futex syscall vs. wakes satisfied by a pure userspace permit post.
 #ifndef MALTHUS_SRC_PLATFORM_PARK_H_
 #define MALTHUS_SRC_PLATFORM_PARK_H_
 
@@ -35,7 +47,7 @@
 
 namespace malthus {
 
-class Parker {
+class alignas(kCacheLineSize) Parker {
  public:
   Parker() = default;
   Parker(const Parker&) = delete;
@@ -45,36 +57,80 @@ class Parker {
   void Park();
 
   // Blocks for at most `timeout`. Returns true if a permit was consumed,
-  // false on timeout. A permit posted after a timeout stays pending.
+  // false on timeout. A permit posted after a timeout stays pending; a
+  // permit racing the timeout itself is consumed (returns true).
   bool ParkFor(std::chrono::nanoseconds timeout);
 
-  // Posts a permit and wakes the owner if it is blocked in the kernel.
+  // Posts a permit and wakes the owner iff it is blocked in the kernel.
   void Unpark();
+
+  // Anticipatory handover (§5.2): identical permit semantics to Unpark(),
+  // called by a lock owner *before* release so the heir's wakeup overlaps
+  // the remaining critical section. Returns true if a kernel wake was
+  // issued (the heir was parked), false if the heir was already runnable.
+  bool WakeAhead();
 
   // True if a permit is pending (posted but not yet consumed). Racy by
   // nature; intended for stats and tests.
   bool PermitPending() const { return state_.load(std::memory_order_acquire) == kPermit; }
 
-  // Counters for instrumentation: how many Park() calls actually blocked in
-  // the kernel vs. consumed a pending permit on the fast path.
+  // Counters for instrumentation, all maintained with relaxed atomics:
+  //   kernel_waits     — Park()/ParkFor() calls that blocked in the kernel.
+  //   fast_path_parks  — Park()/ParkFor() calls satisfied by a pending permit.
+  //   kernel_wakes     — Unpark()/WakeAhead() calls that issued a futex wake.
+  //   elided_wakes     — Unpark()/WakeAhead() calls that found the owner
+  //                      runnable (spinning or between spin and park) and
+  //                      skipped the syscall a two-state parker would pay.
+  //   wake_aheads      — WakeAhead() calls.
   std::uint64_t kernel_waits() const { return kernel_waits_.load(std::memory_order_relaxed); }
   std::uint64_t fast_path_parks() const {
     return fast_path_parks_.load(std::memory_order_relaxed);
   }
+  std::uint64_t kernel_wakes() const { return kernel_wakes_.load(std::memory_order_relaxed); }
+  std::uint64_t elided_wakes() const { return elided_wakes_.load(std::memory_order_relaxed); }
+  std::uint64_t wake_aheads() const { return wake_aheads_.load(std::memory_order_relaxed); }
 
  private:
   static constexpr std::int32_t kNeutral = 0;
   static constexpr std::int32_t kPermit = 1;
+  static constexpr std::int32_t kParked = 2;
 
-  // Futex word. int32_t as required by the futex ABI.
+  // Posts a permit, waking the owner if it advertised kParked. Returns true
+  // if a futex wake was issued.
+  bool Post();
+
+  // Owner-side protocol steps shared by Park() and ParkFor(); the memory-
+  // order reasoning lives on their definitions, once.
+  bool ConsumePermitOrAdvertisePark();
+  bool TryConsumePermit();
+
+  // Futex word. int32_t as required by the futex ABI. Alone on its line:
+  // it is written by *other* threads (wakers), while the counters below are
+  // written by specific sides of the protocol; sharing a line would put
+  // grant-path stores and stat updates in coherence conflict.
   std::atomic<std::int32_t> state_{kNeutral};
-  std::atomic<std::uint64_t> kernel_waits_{0};
+
+  alignas(kCacheLineSize) std::atomic<std::uint64_t> kernel_waits_{0};
   std::atomic<std::uint64_t> fast_path_parks_{0};
+  std::atomic<std::uint64_t> kernel_wakes_{0};
+  std::atomic<std::uint64_t> elided_wakes_{0};
+  std::atomic<std::uint64_t> wake_aheads_{0};
 };
 
 // Process-wide count of parks that entered the kernel (voluntary context
 // switches induced by waiting).
 std::uint64_t TotalKernelParks();
+
+// Process-wide count of unparks that issued a futex wake syscall.
+std::uint64_t TotalKernelWakes();
+
+// Process-wide count of unparks satisfied without a syscall because the
+// target was runnable — the zero-syscall handovers this library exists to
+// maximize.
+std::uint64_t TotalElidedKernelWakes();
+
+// Process-wide count of WakeAhead() hint calls.
+std::uint64_t TotalWakeAheads();
 
 }  // namespace malthus
 

@@ -8,15 +8,19 @@ std::atomic<ThreadId> g_next_id{0};
 }  // namespace
 
 ThreadCtx& Self() {
-  // ThreadCtx owns a Parker and is neither copyable nor movable, so the id
-  // is assigned by a one-shot initializer rather than a factory return.
-  thread_local ThreadCtx ctx;
-  thread_local bool initialized = [] {
-    ctx.id = g_next_id.fetch_add(1, std::memory_order_relaxed);
-    return true;
+  // The context is heap-allocated and deliberately never freed: a granter
+  // may still poke the Parker in the window between publishing the grant
+  // flag and issuing the wake, after the woken thread has already moved on
+  // — or even exited. With thread-storage-duration contexts that poke is a
+  // use-after-free; with leaked contexts it is a harmless store. One
+  // cache-aligned block per registered thread, ids are never reused, so
+  // the "leak" is bounded by the process's historical thread count.
+  thread_local ThreadCtx* ctx = [] {
+    auto* c = new ThreadCtx;
+    c->id = g_next_id.fetch_add(1, std::memory_order_relaxed);
+    return c;
   }();
-  (void)initialized;
-  return ctx;
+  return *ctx;
 }
 
 ThreadId RegisteredThreadCount() { return g_next_id.load(std::memory_order_relaxed); }

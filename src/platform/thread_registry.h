@@ -12,6 +12,7 @@
 #include <atomic>
 #include <cstdint>
 
+#include "src/platform/align.h"
 #include "src/platform/park.h"
 
 namespace malthus {
@@ -21,7 +22,10 @@ using ThreadId = std::uint32_t;
 inline constexpr ThreadId kInvalidThreadId = UINT32_MAX;
 
 // Per-thread context handed around by lock algorithms. Obtained via Self().
-struct ThreadCtx {
+// Cache-line-aligned: the parker's futex word is written by *other* threads
+// (granters, wake-ahead hints); without the alignment, adjacent threads'
+// contexts could false-share and every grant would invalidate a bystander.
+struct alignas(kCacheLineSize) ThreadCtx {
   ThreadId id = kInvalidThreadId;
   Parker parker;
   // Simulated NUMA node for MCSCRN experiments; kInvalidNode means "use the

@@ -9,36 +9,56 @@
 //   ParkPolicy         — park promptly (degenerate STP with zero budget).
 //
 // Each policy provides:
-//   Await(flag, expected, parker)  — block until *flag != expected.
-//   Wake(parker)                   — called by the granter after the flag
-//                                    write; a no-op for pure spinning.
+//   Await(flag, expected, parker, budget)
+//     — block until *flag != expected. `budget` is either a raw iteration
+//       count or an AdaptiveSpinBudget the policy both consults and feeds
+//       with observed parked-handover latencies.
+//   Wake(parker)
+//     — called by the granter after the flag write; a no-op for pure
+//       spinning.
 //
 // The flag is the waiter's own node status (local spinning): at most one
 // thread spins on a given line, minimizing the invalidation diameter.
+//
+// Wake-ahead interaction: a lock owner may WakeAhead() the heir before
+// releasing. The heir's Park() then returns while the grant flag is still
+// unset; SpinThenParkPolicy treats that as "grant imminent" and re-spins —
+// politely, yielding every slice so a single-CPU or oversubscribed host
+// lets the owner finish its critical section — before re-parking. The
+// subsequent grant is then observed in userspace and the granter's Unpark()
+// collapses into a no-syscall permit post (an elided kernel wake).
 #ifndef MALTHUS_SRC_WAITING_POLICY_H_
 #define MALTHUS_SRC_WAITING_POLICY_H_
 
+#include <sched.h>
+
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 
-#include "src/platform/calibrate.h"
 #include "src/platform/cpu.h"
 #include "src/platform/park.h"
+#include "src/waiting/spin_budget.h"
 
 namespace malthus {
 
-// Fallback spin budget for spin-then-park, in spin-loop iterations. Locks
-// default to kAutoSpinBudget, which resolves to the measured park/unpark
-// round trip (CalibratedSpinBudget) — the paper's "empirically derived
-// estimate of the average round-trip context switch time".
-inline constexpr std::uint32_t kDefaultSpinBudget = 1000;
+// After a Park() returns without the grant being visible (wake-ahead hint or
+// stale permit), the waiter re-spins at least this many iterations before
+// concluding the permit was stale and re-parking. Covers the tail of the
+// owner's critical section after a wake-ahead.
+inline constexpr std::uint32_t kMinPostWakeSpin = 4096;
 
-// Sentinel: resolve the budget by calibration at lock construction.
-inline constexpr std::uint32_t kAutoSpinBudget = UINT32_MAX;
+// Within the post-wake re-spin, yield the CPU every this many iterations so
+// the owner (which may share the core on oversubscribed hosts) can reach its
+// release store.
+inline constexpr std::uint32_t kPostWakeYieldSlice = 256;
 
-inline std::uint32_t ResolveSpinBudget(std::uint32_t requested) {
-  return requested == kAutoSpinBudget ? CalibratedSpinBudget() : requested;
-}
+// At most this many yields per wake. One or two are enough for a co-resident
+// owner to finish its critical-section tail and grant; unbounded yielding
+// turns contended waits into a round-robin storm that flattens the queue
+// locks' emergent structure (e.g. MCSCRN's node-homogeneous chain).
+inline constexpr std::uint32_t kMaxPostWakeYields = 2;
 
 struct SpinPolicy {
   static constexpr bool kParks = false;
@@ -51,6 +71,12 @@ struct SpinPolicy {
     }
   }
 
+  template <typename T>
+  static void Await(const std::atomic<T>& flag, T expected_while_waiting, Parker& parker,
+                    AdaptiveSpinBudget& /*budget*/) {
+    Await(flag, expected_while_waiting, parker);
+  }
+
   static void Wake(Parker& /*parker*/) {}
 };
 
@@ -60,6 +86,23 @@ struct SpinThenParkPolicy {
   template <typename T>
   static void Await(const std::atomic<T>& flag, T expected_while_waiting, Parker& parker,
                     std::uint32_t spin_budget = kDefaultSpinBudget) {
+    AwaitImpl(flag, expected_while_waiting, parker, spin_budget, nullptr);
+  }
+
+  // Adaptive variant: consults budget.Get() for the spin phase and feeds
+  // the observed parked-handover latency back into the EMA.
+  template <typename T>
+  static void Await(const std::atomic<T>& flag, T expected_while_waiting, Parker& parker,
+                    AdaptiveSpinBudget& budget) {
+    AwaitImpl(flag, expected_while_waiting, parker, budget.Get(), &budget);
+  }
+
+  static void Wake(Parker& parker) { parker.Unpark(); }
+
+ private:
+  template <typename T>
+  static void AwaitImpl(const std::atomic<T>& flag, T expected_while_waiting, Parker& parker,
+                        std::uint32_t spin_budget, AdaptiveSpinBudget* budget) {
     // Phase 1: optimistic local spinning, betting that a grant arrives within
     // roughly a context-switch round trip.
     for (std::uint32_t i = 0; i < spin_budget; ++i) {
@@ -69,13 +112,40 @@ struct SpinThenParkPolicy {
       CpuRelax();
     }
     // Phase 2: park. Park() may consume a stale permit from a previous grant
-    // cycle, so the condition is always re-checked.
+    // cycle or a wake-ahead hint from the current owner, so the condition is
+    // always re-checked — and after any wake the waiter re-spins before
+    // re-parking, so a wake-ahead converts the coming grant into a
+    // zero-syscall handover.
+    const bool timing = budget != nullptr;
+    const auto park_begin =
+        timing ? std::chrono::steady_clock::now() : std::chrono::steady_clock::time_point{};
+    const std::uint32_t respin = std::max(spin_budget, kMinPostWakeSpin);
+    bool parked = false;
     while (flag.load(std::memory_order_acquire) == expected_while_waiting) {
+      parked = true;
       parker.Park();
+      std::uint32_t yields = 0;
+      for (std::uint32_t i = 0; i < respin; ++i) {
+        if (flag.load(std::memory_order_acquire) != expected_while_waiting) {
+          break;
+        }
+        CpuRelax();
+        if ((i + 1) % kPostWakeYieldSlice == 0 && yields < kMaxPostWakeYields) {
+          ++yields;
+          sched_yield();
+        }
+      }
+    }
+    // Only rounds that really parked feed the EMA: a grant that lands just
+    // after the spin phase would otherwise record a ~0 ns "handover" and
+    // drag the budget toward the floor in exactly the regime where grants
+    // arrive at the budget boundary.
+    if (timing && parked) {
+      const auto elapsed = std::chrono::steady_clock::now() - park_begin;
+      budget->RecordParkedHandoverNs(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
     }
   }
-
-  static void Wake(Parker& parker) { parker.Unpark(); }
 };
 
 struct ParkPolicy {
@@ -87,6 +157,12 @@ struct ParkPolicy {
     while (flag.load(std::memory_order_acquire) == expected_while_waiting) {
       parker.Park();
     }
+  }
+
+  template <typename T>
+  static void Await(const std::atomic<T>& flag, T expected_while_waiting, Parker& parker,
+                    AdaptiveSpinBudget& /*budget*/) {
+    Await(flag, expected_while_waiting, parker);
   }
 
   static void Wake(Parker& parker) { parker.Unpark(); }

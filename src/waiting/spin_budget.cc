@@ -1,0 +1,36 @@
+#include "src/waiting/spin_budget.h"
+
+#include <algorithm>
+
+namespace malthus {
+namespace {
+
+// Samples above this are scheduler pathology (preemption storms, CPU
+// hot-unplug, debugger stops), not handover cost; folding them in would
+// drive the budget to the ceiling and keep it there for many samples.
+constexpr std::int64_t kMaxSampleNs = 50'000'000;  // 50 ms
+
+}  // namespace
+
+void AdaptiveSpinBudget::RecordParkedHandoverNs(std::int64_t observed_ns) {
+  if (!adaptive_.load(std::memory_order_relaxed)) {
+    return;
+  }
+  observed_ns = std::clamp<std::int64_t>(observed_ns, 0, kMaxSampleNs);
+  samples_.fetch_add(1, std::memory_order_relaxed);
+
+  // Lossy read-modify-write: concurrent recorders may drop each other's
+  // sample. Acceptable for a smoothing heuristic; see file comment.
+  const std::int64_t prev = ema_ns_.load(std::memory_order_relaxed);
+  const std::int64_t next = prev == 0 ? observed_ns : prev + (observed_ns - prev) / kEmaDivisor;
+  ema_ns_.store(next, std::memory_order_relaxed);
+
+  const double iters = kSafetyFactor * static_cast<double>(next) / SpinIterationNs();
+  const double ceiling =
+      static_cast<double>(std::min(cap_.load(std::memory_order_relaxed), kMaxBudget));
+  const auto clamped = static_cast<std::uint32_t>(
+      std::clamp(iters, std::min(static_cast<double>(kMinBudget), ceiling), ceiling));
+  budget_.store(clamped, std::memory_order_relaxed);
+}
+
+}  // namespace malthus

@@ -1,0 +1,135 @@
+// Per-lock adaptive spin-then-park budget (§5.1).
+//
+// The paper fixes the budget at an empirically derived constant (~20000
+// cycles, one context-switch round trip — Karlin/Lim's 2-competitive
+// point). A process-wide constant is wrong twice over: the right value
+// differs per host (a sandboxed kernel's futex round trip can be 10x a
+// bare-metal one) and per lock (a lock whose heirs are woken ahead observes
+// far cheaper parked handovers than one whose heirs always eat a cold
+// kernel wake). AdaptiveSpinBudget therefore tracks, per lock, an EMA of
+// the *observed* parked-handover latency — the time from entering the park
+// phase of Await() to receiving the grant — and re-derives the budget as
+//
+//   budget_iters = kSafetyFactor * ema_ns / SpinIterationNs()
+//
+// kSafetyFactor mirrors the multiplier calibration applies to its ping-pong
+// measurement (platform/calibrate.cc): observations are taken under warm
+// caches and a busy CPU, while the marginal wake the budget is hedging
+// against pays cold caches and idle-CPU dispatch on top.
+//
+// clamped to [kMinBudget, cap]. The cap is the calibrated budget itself:
+// by the Karlin/Lim argument, spinning longer than the park/unpark round
+// trip is never rational (past that point parking is cheaper), so
+// adaptation can only *lower* the budget below the calibrated seed — e.g.
+// when wake-ahead starts landing and parked handovers get cheap — never
+// raise it. An uncapped EMA is unstable on oversubscribed hosts: observed
+// handover latency includes scheduling delay, which grows with how long
+// everyone spins, and the feedback loop rides the budget to the ceiling.
+// The EMA seeds from the one-shot CalibratedSpinBudget() measurement, so
+// behavior before the first sample matches the previous fixed scheme.
+//
+// Concurrency: updates come from whichever waiter just got granted, with no
+// coordination. All fields are relaxed atomics — a lost sample merely slows
+// convergence of a heuristic, and the type stays TSan-clean. Reads on the
+// wait path are one relaxed load.
+#ifndef MALTHUS_SRC_WAITING_SPIN_BUDGET_H_
+#define MALTHUS_SRC_WAITING_SPIN_BUDGET_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+
+#include "src/platform/calibrate.h"
+
+namespace malthus {
+
+// Fallback spin budget for spin-then-park, in spin-loop iterations, for
+// call sites that pass a raw integer budget.
+inline constexpr std::uint32_t kDefaultSpinBudget = 1000;
+
+// Sentinel: resolve the budget by calibration (and keep adapting).
+inline constexpr std::uint32_t kAutoSpinBudget = UINT32_MAX;
+
+inline std::uint32_t ResolveSpinBudget(std::uint32_t requested) {
+  return requested == kAutoSpinBudget ? CalibratedSpinBudget() : requested;
+}
+
+class AdaptiveSpinBudget {
+ public:
+  // Floor for adapted budgets, in spin iterations: keeps a near-term waiter
+  // spinning across a cull->deficit oscillation even when observed
+  // handovers are very cheap. The per-instance ceiling is the calibrated
+  // budget (see file comment); kMaxBudget only backstops it.
+  static constexpr std::uint32_t kMinBudget = 1000;
+  static constexpr std::uint32_t kMaxBudget = 1u << 20;
+
+  // EMA smoothing: new = old + (sample - old) / kEmaDivisor.
+  static constexpr std::int64_t kEmaDivisor = 8;
+
+  // Headroom multiplier from observed best-case latency to budget; keep in
+  // sync with the rationale in platform/calibrate.cc.
+  static constexpr double kSafetyFactor = 32.0;
+
+  // Adaptive budget seeded from the process-wide calibration.
+  AdaptiveSpinBudget() : AdaptiveSpinBudget(kAutoSpinBudget) {}
+
+  // kAutoSpinBudget => adaptive; any other value pins the budget there and
+  // disables adaptation (the ablation benches sweep explicit budgets).
+  explicit AdaptiveSpinBudget(std::uint32_t requested) { Reset(requested); }
+
+  AdaptiveSpinBudget(const AdaptiveSpinBudget&) = delete;
+  AdaptiveSpinBudget& operator=(const AdaptiveSpinBudget&) = delete;
+
+  // Current budget in spin iterations. One relaxed load; safe on the wait
+  // fast path.
+  std::uint32_t Get() const { return budget_.load(std::memory_order_relaxed); }
+
+  bool adaptive() const { return adaptive_.load(std::memory_order_relaxed); }
+
+  // Re-seeds from `requested`, same resolution rule as the constructor.
+  void Reset(std::uint32_t requested) {
+    if (requested == kAutoSpinBudget) {
+      const std::uint32_t seed = std::min(CalibratedSpinBudget(), kMaxBudget);
+      // Warm the spin-iteration cost cache now: MALTHUS_SPIN_BUDGET makes
+      // CalibratedSpinBudget() return without measuring it, and the first
+      // RecordParkedHandoverNs() otherwise pays the multi-ms measurement
+      // while its caller holds a freshly granted lock.
+      (void)SpinIterationNs();
+      adaptive_.store(true, std::memory_order_relaxed);
+      cap_.store(seed, std::memory_order_relaxed);
+      budget_.store(seed, std::memory_order_relaxed);
+    } else {
+      adaptive_.store(false, std::memory_order_relaxed);
+      cap_.store(requested, std::memory_order_relaxed);
+      budget_.store(requested, std::memory_order_relaxed);
+    }
+    ema_ns_.store(0, std::memory_order_relaxed);
+    samples_.store(0, std::memory_order_relaxed);
+  }
+
+  // The ceiling adaptation may not exceed (== the calibrated seed).
+  std::uint32_t cap() const { return cap_.load(std::memory_order_relaxed); }
+
+  // Pin the budget to an explicit value (disables adaptation).
+  void Pin(std::uint32_t budget) { Reset(budget); }
+
+  // Folds one observed parked-handover latency into the EMA and re-derives
+  // the budget. No-op when pinned.
+  void RecordParkedHandoverNs(std::int64_t observed_ns);
+
+  // Instrumentation.
+  std::int64_t ema_ns() const { return ema_ns_.load(std::memory_order_relaxed); }
+  std::uint64_t samples() const { return samples_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint32_t> budget_{kDefaultSpinBudget};
+  std::atomic<std::uint32_t> cap_{kMaxBudget};
+  std::atomic<bool> adaptive_{true};
+  // EMA of parked-handover latency in ns; 0 means "no samples yet".
+  std::atomic<std::int64_t> ema_ns_{0};
+  std::atomic<std::uint64_t> samples_{0};
+};
+
+}  // namespace malthus
+
+#endif  // MALTHUS_SRC_WAITING_SPIN_BUDGET_H_

@@ -1,0 +1,408 @@
+// Wake-ahead succession (anticipatory handover) and adaptive spin budget:
+// Parker's WakeAhead()/elided-wake accounting, PrepareHandover() across the
+// lock families, the HandoverLockGuard opt-in, the ParkFor timeout/permit
+// race, and EMA convergence of the per-lock spin budget.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <thread>
+
+#include "src/core/cr_semaphore.h"
+#include "src/core/lifocr.h"
+#include "src/core/mcscr.h"
+#include "src/locks/handover_guard.h"
+#include "src/locks/mcs.h"
+#include "src/platform/calibrate.h"
+#include "src/platform/park.h"
+#include "src/waiting/spin_budget.h"
+
+namespace malthus {
+namespace {
+
+using namespace std::chrono_literals;
+
+// A spin budget that will not expire within any test's lifetime, used to
+// hold a waiter in the spinning phase deterministically.
+constexpr std::uint32_t kHugeSpinBudget = 4'000'000'000u;
+
+// Waits until the process-wide kernel-park counter passes `threshold`,
+// i.e. some thread has committed to blocking in the kernel.
+void AwaitKernelParksAbove(std::uint64_t threshold) {
+  while (TotalKernelParks() <= threshold) {
+    std::this_thread::sleep_for(1ms);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Parker::WakeAhead semantics.
+
+TEST(ParkerWakeAhead, OnParkedOwnerIssuesKernelWake) {
+  Parker p;
+  const std::uint64_t parks_before = TotalKernelParks();
+  std::thread owner([&] { p.Park(); });
+  AwaitKernelParksAbove(parks_before);
+  // The owner has advertised (and most likely entered) the kernel wait.
+  p.WakeAhead();
+  owner.join();
+  EXPECT_EQ(p.wake_aheads(), 1u);
+  EXPECT_EQ(p.kernel_wakes() + p.elided_wakes(), 1u);  // Exactly one post.
+  EXPECT_GT(p.kernel_waits(), 0u);
+}
+
+TEST(ParkerWakeAhead, OnRunnableOwnerElidesSyscallAndLeavesPermit) {
+  Parker p;
+  EXPECT_FALSE(p.WakeAhead());  // Nobody parked: no kernel wake.
+  EXPECT_EQ(p.elided_wakes(), 1u);
+  EXPECT_EQ(p.kernel_wakes(), 0u);
+  EXPECT_TRUE(p.PermitPending());
+  p.Park();  // Consumes the hint without entering the kernel.
+  EXPECT_EQ(p.fast_path_parks(), 1u);
+  EXPECT_EQ(p.kernel_waits(), 0u);
+}
+
+TEST(ParkerWakeAhead, RedundantHintsCollapse) {
+  Parker p;
+  p.WakeAhead();
+  p.WakeAhead();
+  p.Unpark();
+  EXPECT_TRUE(p.PermitPending());
+  p.Park();
+  EXPECT_FALSE(p.PermitPending());  // All posts collapsed into one permit.
+  EXPECT_EQ(p.fast_path_parks(), 1u);
+}
+
+// The paper's litmus test: a no-op Park/Unpark pair (stale permit) may only
+// degrade the consumer to spinning, never break it.
+TEST(ParkerWakeAhead, StaleHintOnlyDegradesToRespin) {
+  McsStpLock lock;
+  lock.set_spin_budget(0);  // Park promptly.
+  std::atomic<bool> acquired{false};
+  lock.lock();
+  std::thread waiter([&] {
+    // A stale permit from some previous grant cycle is pending when this
+    // thread starts waiting: Park() must consume it, re-check, and go
+    // back to waiting rather than treat it as a grant.
+    Self().parker.Unpark();
+    lock.lock();
+    acquired.store(true, std::memory_order_release);
+    lock.unlock();
+  });
+  std::this_thread::sleep_for(50ms);
+  EXPECT_FALSE(acquired.load(std::memory_order_acquire));
+  lock.unlock();
+  waiter.join();
+  EXPECT_TRUE(acquired.load(std::memory_order_acquire));
+}
+
+// ---------------------------------------------------------------------------
+// ParkFor: a permit racing the timeout is never lost.
+
+TEST(ParkForRace, PermitConcurrentWithTimeoutIsNeverLost) {
+  Parker p;
+  constexpr int kRounds = 300;
+  std::atomic<int> consumed{0};
+  std::thread owner([&] {
+    for (int i = 0; i < kRounds; ++i) {
+      // Short timeout chosen to collide with the poster's cadence.
+      if (p.ParkFor(std::chrono::microseconds(50 + (i % 7) * 37))) {
+        consumed.fetch_add(1, std::memory_order_relaxed);
+      } else if (p.ParkFor(std::chrono::seconds(5))) {
+        // The round's permit must still arrive; a lost permit times out
+        // here and fails the test.
+        consumed.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+  for (int i = 0; i < kRounds; ++i) {
+    std::this_thread::sleep_for(std::chrono::microseconds(30 + (i % 5) * 41));
+    p.Unpark();
+    // One permit per round: wait for it to be consumed before posting the
+    // next, so permits cannot legitimately collapse.
+    while (consumed.load(std::memory_order_relaxed) <= i) {
+      std::this_thread::sleep_for(100us);
+    }
+  }
+  owner.join();
+  EXPECT_EQ(consumed.load(), kRounds);
+}
+
+TEST(ParkForRace, PermitAfterTimeoutStaysPending) {
+  Parker p;
+  EXPECT_FALSE(p.ParkFor(1ms));
+  p.Unpark();
+  EXPECT_TRUE(p.PermitPending());
+  const std::uint64_t fast_before = p.fast_path_parks();
+  p.Park();  // Must consume the pending permit without blocking.
+  EXPECT_EQ(p.fast_path_parks(), fast_before + 1);
+}
+
+TEST(ParkForRace, TimeoutWithoutPermitReturnsFalse) {
+  Parker p;
+  const auto begin = std::chrono::steady_clock::now();
+  EXPECT_FALSE(p.ParkFor(5ms));
+  EXPECT_GE(std::chrono::steady_clock::now() - begin, 4ms);
+}
+
+// ---------------------------------------------------------------------------
+// PrepareHandover through the lock protocol.
+
+TEST(PrepareHandover, ParkedSuccessorIsWokenAhead) {
+  McsStpLock lock;
+  lock.set_spin_budget(0);  // Successor parks promptly.
+  lock.lock();
+  std::atomic<bool> acquired{false};
+  const std::uint64_t parks_before = TotalKernelParks();
+  std::thread waiter([&] {
+    lock.lock();
+    acquired.store(true, std::memory_order_release);
+    lock.unlock();
+  });
+  AwaitKernelParksAbove(parks_before);
+
+  const std::uint64_t aheads_before = TotalWakeAheads();
+  const std::uint64_t wakes_before = TotalKernelWakes();
+  lock.PrepareHandover();
+  EXPECT_EQ(TotalWakeAheads() - aheads_before, 1u);
+  // The successor was blocked in the kernel, so the hint paid the wake —
+  // inside our critical section, where it overlaps remaining work.
+  EXPECT_EQ(TotalKernelWakes() - wakes_before, 1u);
+  lock.unlock();
+  waiter.join();
+  EXPECT_TRUE(acquired.load());
+  // The grant itself must not have issued a second kernel wake: the heir
+  // was runnable (or holding the collapsed permit) by then.
+  EXPECT_LE(TotalKernelWakes() - wakes_before, 1u);
+}
+
+TEST(PrepareHandover, SpinningSuccessorCostsNoSyscall) {
+  McsStpLock lock;
+  lock.set_spin_budget(kHugeSpinBudget);  // Successor never parks.
+  lock.lock();
+  std::atomic<bool> acquired{false};
+  std::thread waiter([&] {
+    lock.lock();
+    acquired.store(true, std::memory_order_release);
+    lock.unlock();
+  });
+  // Wait until the successor is enqueued (spinning on its node).
+  std::this_thread::sleep_for(50ms);
+
+  const std::uint64_t wakes_before = TotalKernelWakes();
+  const std::uint64_t elided_before = TotalElidedKernelWakes();
+  lock.PrepareHandover();
+  EXPECT_EQ(TotalKernelWakes() - wakes_before, 0u);
+  EXPECT_EQ(TotalElidedKernelWakes() - elided_before, 1u);
+  lock.unlock();
+  waiter.join();
+  EXPECT_TRUE(acquired.load());
+  // Grant to a spinning successor: still zero syscalls end to end.
+  EXPECT_EQ(TotalKernelWakes() - wakes_before, 0u);
+}
+
+TEST(PrepareHandover, NoSuccessorIsANoOp) {
+  McsStpLock lock;
+  lock.lock();
+  const std::uint64_t aheads_before = TotalWakeAheads();
+  lock.PrepareHandover();
+  EXPECT_EQ(TotalWakeAheads(), aheads_before);
+  lock.unlock();
+}
+
+TEST(PrepareHandover, WorksAcrossLockFamilies) {
+  // Smoke: every family's PrepareHandover() fires on a parked successor and
+  // the handover still completes.
+  const std::uint64_t aheads_before = TotalWakeAheads();
+
+  McscrLock<SpinThenParkPolicy> mcscr{McscrOptions{.spin_budget = 0}};
+  LifoCrLock<SpinThenParkPolicy> lifocr{LifoCrOptions{.spin_budget = 0}};
+
+  auto run = [](auto& lock) {
+    lock.lock();
+    std::atomic<bool> acquired{false};
+    const std::uint64_t parks_before = TotalKernelParks();
+    std::thread waiter([&] {
+      lock.lock();
+      acquired.store(true, std::memory_order_release);
+      lock.unlock();
+    });
+    AwaitKernelParksAbove(parks_before);
+    lock.PrepareHandover();
+    lock.unlock();
+    waiter.join();
+    EXPECT_TRUE(acquired.load());
+  };
+  run(mcscr);
+  run(lifocr);
+  EXPECT_GE(TotalWakeAheads() - aheads_before, 2u);
+}
+
+TEST(PrepareHandover, GuardFiresBeforeUnlock) {
+  McsStpLock lock;
+  lock.set_spin_budget(0);
+  std::atomic<bool> acquired{false};
+  const std::uint64_t parks_before = TotalKernelParks();
+  const std::uint64_t aheads_before = TotalWakeAheads();
+  std::thread waiter;
+  {
+    HandoverLockGuard<McsStpLock> guard(lock);
+    waiter = std::thread([&] {
+      lock.lock();
+      acquired.store(true, std::memory_order_release);
+      lock.unlock();
+    });
+    AwaitKernelParksAbove(parks_before);
+  }
+  waiter.join();
+  EXPECT_TRUE(acquired.load());
+  EXPECT_EQ(TotalWakeAheads() - aheads_before, 1u);
+}
+
+TEST(PrepareHandover, GuardIsANoOpForSpinLocks) {
+  McsSpinLock lock;
+  {
+    HandoverLockGuard<McsSpinLock> guard(lock);  // Must compile and not wake anything.
+  }
+  SUCCEED();
+}
+
+// ---------------------------------------------------------------------------
+// CrSemaphore::PreparePost.
+
+TEST(PreparePost, WakesHeadWaiterAhead) {
+  CrSemaphore sem(0, CrSemaphoreOptions{.append_probability = 1.0, .spin_budget = 0});
+  std::atomic<bool> got{false};
+  const std::uint64_t parks_before = TotalKernelParks();
+  std::thread waiter([&] {
+    sem.Wait();
+    got.store(true, std::memory_order_release);
+  });
+  AwaitKernelParksAbove(parks_before);
+  const std::uint64_t aheads_before = TotalWakeAheads();
+  sem.PreparePost();
+  EXPECT_EQ(TotalWakeAheads() - aheads_before, 1u);
+  sem.Post();
+  waiter.join();
+  EXPECT_TRUE(got.load());
+}
+
+TEST(PreparePost, NoWaitersIsANoOp) {
+  CrSemaphore sem(0);
+  const std::uint64_t aheads_before = TotalWakeAheads();
+  sem.PreparePost();
+  EXPECT_EQ(TotalWakeAheads(), aheads_before);
+}
+
+// ---------------------------------------------------------------------------
+// AdaptiveSpinBudget.
+
+TEST(AdaptiveSpinBudget, SeedsFromCalibration) {
+  AdaptiveSpinBudget budget;
+  EXPECT_TRUE(budget.adaptive());
+  EXPECT_EQ(budget.Get(), CalibratedSpinBudget());
+  EXPECT_EQ(budget.samples(), 0u);
+}
+
+TEST(AdaptiveSpinBudget, PinDisablesAdaptation) {
+  AdaptiveSpinBudget budget(123);
+  EXPECT_FALSE(budget.adaptive());
+  EXPECT_EQ(budget.Get(), 123u);
+  budget.RecordParkedHandoverNs(10'000'000);
+  EXPECT_EQ(budget.Get(), 123u);
+  EXPECT_EQ(budget.samples(), 0u);
+  budget.Reset(kAutoSpinBudget);
+  EXPECT_TRUE(budget.adaptive());
+}
+
+TEST(AdaptiveSpinBudget, EmaConvergesOnSyntheticSeries) {
+  AdaptiveSpinBudget budget;
+  constexpr std::int64_t kTargetNs = 2'000'000;  // 2 ms parked handovers.
+  for (int i = 0; i < 64; ++i) {
+    budget.RecordParkedHandoverNs(kTargetNs);
+  }
+  EXPECT_EQ(budget.samples(), 64u);
+  // First sample seeds the EMA directly, so convergence is exact here.
+  EXPECT_EQ(budget.ema_ns(), kTargetNs);
+  const double expected_iters =
+      AdaptiveSpinBudget::kSafetyFactor * static_cast<double>(kTargetNs) / SpinIterationNs();
+  const double clamped = std::min<double>(
+      std::max<double>(expected_iters, AdaptiveSpinBudget::kMinBudget),
+      static_cast<double>(budget.cap()));
+  EXPECT_NEAR(static_cast<double>(budget.Get()), clamped, clamped * 0.01 + 1.0);
+}
+
+TEST(AdaptiveSpinBudget, GrowthIsCappedAtCalibratedSeed) {
+  // Spinning longer than the park round trip is never rational, and an
+  // uncapped EMA feedback loop spirals on oversubscribed hosts — observed
+  // handover latency includes the very scheduling delay long spins create.
+  AdaptiveSpinBudget budget;
+  EXPECT_EQ(budget.cap(), std::min(CalibratedSpinBudget(), AdaptiveSpinBudget::kMaxBudget));
+  for (int i = 0; i < 32; ++i) {
+    budget.RecordParkedHandoverNs(40'000'000);  // Pathological 40 ms samples.
+  }
+  EXPECT_LE(budget.Get(), budget.cap());
+}
+
+TEST(AdaptiveSpinBudget, EmaTracksShiftingSeries) {
+  AdaptiveSpinBudget budget;
+  // A phase of slow (5 ms) handovers pins the budget at its cap, then a
+  // shift to fast (100 ns) ones — wake-ahead landing every time. The EMA
+  // must follow downward and drag the budget below the cap: 100 ns times
+  // the safety factor lands under the kMinBudget floor for any plausible
+  // spin-iteration cost, and the floor sits below the >= 20000-iteration
+  // calibrated cap.
+  for (int i = 0; i < 32; ++i) {
+    budget.RecordParkedHandoverNs(5'000'000);
+  }
+  const std::uint32_t slow_budget = budget.Get();
+  EXPECT_EQ(slow_budget, budget.cap());
+  for (int i = 0; i < 128; ++i) {
+    budget.RecordParkedHandoverNs(100);
+  }
+  const std::uint32_t fast_budget = budget.Get();
+  EXPECT_LT(fast_budget, slow_budget);
+  // After 128 folds of alpha=1/8 the slow phase's residue is (7/8)^128 of
+  // 5 ms ≈ 0.2 ns — the EMA must sit at the new 100 ns level.
+  EXPECT_LT(budget.ema_ns(), 300);
+  EXPECT_GE(budget.ema_ns(), 100);
+}
+
+TEST(AdaptiveSpinBudget, OutlierSamplesAreClamped) {
+  AdaptiveSpinBudget budget;
+  budget.RecordParkedHandoverNs(std::numeric_limits<std::int64_t>::max());
+  EXPECT_LE(budget.ema_ns(), 50'000'000);  // kMaxSampleNs
+  EXPECT_LE(budget.Get(), AdaptiveSpinBudget::kMaxBudget);
+}
+
+TEST(AdaptiveSpinBudget, LockFeedsBudgetFromParkedHandovers) {
+  // End to end: a lock under forced-park handovers accumulates EMA samples.
+  McscrLock<SpinThenParkPolicy> lock;  // Adaptive by default.
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> acquisitions{0};
+  std::thread t([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      lock.lock();
+      acquisitions.fetch_add(1, std::memory_order_relaxed);
+      lock.unlock();
+    }
+  });
+  const auto deadline = std::chrono::steady_clock::now() + 5s;
+  while (std::chrono::steady_clock::now() < deadline &&
+         lock.spin_budget().samples() == 0) {
+    lock.lock();
+    std::this_thread::sleep_for(8ms);  // Long hold: partner exhausts budget and parks.
+    lock.unlock();
+    std::this_thread::sleep_for(1ms);
+  }
+  done.store(true, std::memory_order_release);
+  t.join();
+  // With an 8ms hold the partner must park at least once (even the clamp
+  // ceiling of 2^20 iterations is spent in a few ms), producing a sample.
+  EXPECT_GT(lock.spin_budget().samples(), 0u);
+  EXPECT_GT(lock.spin_budget().ema_ns(), 0);
+}
+
+}  // namespace
+}  // namespace malthus

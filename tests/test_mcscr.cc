@@ -256,7 +256,7 @@ TEST(Mcscr, BurstyLoadReprovisionsFromPassiveSet) {
   std::atomic<bool> stop{false};
   std::vector<std::thread> workers;
   for (int t = 0; t < 6; ++t) {
-    workers.emplace_back([&] {
+    workers.emplace_back([&, t] {
       XorShift64 rng(static_cast<std::uint64_t>(t) + 1);
       while (!stop.load(std::memory_order_relaxed)) {
         lock.lock();
