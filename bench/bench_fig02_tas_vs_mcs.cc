@@ -35,13 +35,26 @@ void ContendedThroughput(benchmark::State& state, const std::string& lock_name, 
   config.threads = threads;
   config.duration = DefaultBenchDuration();
   for (auto _ : state) {
-    const BenchResult result = RunFixedTime(config, [&](int) {
-      lock->lock();
-      lock->unlock();
-    });
-    ReportResult(state, result);
-    ReportFairness(state, log.Report());
+    // Median-of-K with dispersion: the median is the tracked number; the
+    // p10/p90 spread says whether a delta against it means anything. The
+    // admission log accumulates across ALL repetitions so the fairness
+    // figures describe the same set of runs the dispersion does (resetting
+    // per rep would pair the median rep's throughput with the last rep's
+    // fairness).
     log.Reset();
+    DispersionStats dispersion;
+    const BenchResult result = RunWithDispersion(
+        DefaultBenchRepetitions(),
+        [&] {
+          return RunFixedTime(config, [&](int) {
+            lock->lock();
+            lock->unlock();
+          });
+        },
+        &dispersion);
+    ReportResult(state, result);
+    ReportDispersion(state, dispersion);
+    ReportFairness(state, log.Report());
   }
 }
 

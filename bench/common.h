@@ -40,6 +40,17 @@ inline void ReportFairness(benchmark::State& state, const FairnessReport& report
   state.counters["gini"] = report.gini;
 }
 
+// Publishes throughput dispersion across repetitions (see RunWithDispersion
+// in harness/fixed_time.h). On small hosts the p10-p90 spread routinely
+// dwarfs the effect under test; snapshot readers need it next to the median
+// to judge significance.
+inline void ReportDispersion(benchmark::State& state, const DispersionStats& stats) {
+  state.counters["ops_p10"] = stats.p10;
+  state.counters["ops_p50"] = stats.p50;
+  state.counters["ops_p90"] = stats.p90;
+  state.counters["reps"] = static_cast<double>(stats.reps);
+}
+
 // Compile-time dispatch from a registry name to the lock type, for
 // constructs that take the lock as a template parameter. `f` is a generic
 // callable invoked as f.template operator()<LockType>().

@@ -7,11 +7,21 @@
 #   build_dir  default: build
 #   out.json   default: bench_snapshot.json
 #
-# Knobs: MALTHUS_BENCH_MS (measurement interval per point, default 100).
+# Knobs:
+#   MALTHUS_BENCH_MS    measurement interval per point (default 100)
+#   MALTHUS_BENCH_REPS  repetitions per point; the snapshot records the
+#                       median plus p10/p50/p90 dispersion (default 5 here —
+#                       single-rep medians on small hosts scatter more than
+#                       the effects being tracked)
+#   MALTHUS_BENCH_PIN   pin worker threads round-robin over allowed CPUs
+#                       (default 1; set 0 to let the scheduler migrate)
 set -euo pipefail
 
 build_dir="${1:-build}"
 out="${2:-bench_snapshot.json}"
+
+export MALTHUS_BENCH_REPS="${MALTHUS_BENCH_REPS:-5}"
+export MALTHUS_BENCH_PIN="${MALTHUS_BENCH_PIN:-1}"
 
 benches=(
   bench_handover_latency

@@ -3,6 +3,7 @@
 namespace malthus {
 
 template class LifoCrLock<SpinPolicy>;
+template class LifoCrLock<YieldingSpinPolicy>;
 template class LifoCrLock<SpinThenParkPolicy>;
 
 }  // namespace malthus

@@ -197,7 +197,7 @@ class LifoCrLock {
   AdaptiveSpinBudget spin_budget_;
 };
 
-using LifoCrSpinLock = LifoCrLock<SpinPolicy>;
+using LifoCrSpinLock = LifoCrLock<YieldingSpinPolicy>;  // LIFO-S (yield-aware spin)
 using LifoCrStpLock = LifoCrLock<SpinThenParkPolicy>;
 
 }  // namespace malthus

@@ -1,6 +1,7 @@
 #include "src/core/loiter.h"
 
 #include "src/platform/cpu.h"
+#include "src/waiting/policy.h"
 
 namespace malthus {
 
@@ -71,7 +72,17 @@ void LoiterLock::lock() {
     }
     if (outer_.load(std::memory_order_relaxed) != kOuterFree &&
         standby_grant_.load(std::memory_order_relaxed) == 0) {
-      self.parker.ParkFor(opts_.standby_park_slice);
+      if (self.parker.ParkFor(opts_.standby_park_slice)) {
+        // A permit was consumed: the owner's wake-ahead hint (or the grant's
+        // own unpark racing us). Re-spin (shared pacing with the other
+        // parking waiters — see PostWakeRespin) so the coming release or
+        // grant word is observed in userspace and the granter's unpark
+        // collapses into a syscall-free permit post instead of a futex wake.
+        PostWakeRespin(kMinPostWakeSpin, [&] {
+          return outer_.load(std::memory_order_relaxed) == kOuterFree ||
+                 standby_grant_.load(std::memory_order_relaxed) != 0;
+        });
+      }
     }
   }
 
@@ -97,6 +108,23 @@ bool LoiterLock::try_lock() {
     return true;
   }
   return false;
+}
+
+void LoiterLock::PrepareHandover() {
+  // Owner-only, like unlock(). The prediction mirrors unlock() read-only:
+  // the sole parked thread this lock ever wakes directly is the standby, so
+  // a fast-path owner hints it; a slow-path owner (which retired the
+  // standby role and still holds the inner lock, so no new standby can
+  // exist yet) instead pre-wakes the inner MCS successor its inner_.unlock()
+  // is about to promote to standby.
+  Parker* standby = standby_.load(std::memory_order_acquire);
+  if (standby != nullptr) {
+    standby->WakeAhead();
+    return;
+  }
+  if (owner_via_slow_) {
+    inner_.PrepareHandover();
+  }
 }
 
 void LoiterLock::unlock() {

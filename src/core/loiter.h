@@ -26,6 +26,13 @@
 //     some barging thread has already taken it — if so the wake of the
 //     standby can be avoided entirely (succession is delegated).
 // The standby's park is timed, so a deferred-away wake can never strand it.
+//
+// Wake-ahead (PrepareHandover, docs/handover.md): owners can post the
+// predicted heir's wake permit from the critical-section tail, so the
+// standby's kernel wakeup overlaps the remaining hold and the grant itself
+// is a syscall-free permit post. After any consumed permit the standby
+// re-spins (politely, with bounded yields) before re-parking, which is what
+// turns a hint into a userspace-observed grant.
 #ifndef MALTHUS_SRC_CORE_LOITER_H_
 #define MALTHUS_SRC_CORE_LOITER_H_
 
@@ -61,6 +68,23 @@ class LoiterLock {
   void lock();
   bool try_lock();
   void unlock();
+
+  // Anticipatory handover (wake-ahead, §5.2): called by the owner near the
+  // end of its critical section, before unlock(). Predicts the heir the
+  // coming unlock() will wake, read-only, and posts its wake permit so a
+  // parked heir overlaps its kernel wakeup with the critical-section tail:
+  //   * fast-path owner — the heir is the standby (the only thread this
+  //     lock ever parks); its ParkFor() consumes the permit and re-spins,
+  //     so both the direct-handoff grant and the release-then-unpark path
+  //     collapse into syscall-free permit posts;
+  //   * slow-path owner (the retired standby, still holding the inner MCS
+  //     lock) — the heir is the inner lock's successor, which unlock()
+  //     promotes to standby via inner_.unlock(); delegate to the MCS
+  //     wake-ahead so the successor is runnable by the time it is granted.
+  // Mispredictions (a barging arrival takes the outer lock first, the
+  // deferred-unpark window delegates succession) leave a stale permit,
+  // which only degrades the standby to one spin-and-repark round.
+  void PrepareHandover();
 
   void set_recorder(AdmissionLog* recorder) { recorder_ = recorder; }
   void set_options(const LoiterOptions& opts) { opts_ = opts; }

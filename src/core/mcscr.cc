@@ -4,6 +4,7 @@ namespace malthus {
 
 // Instantiation anchors.
 template class McscrLock<SpinPolicy>;
+template class McscrLock<YieldingSpinPolicy>;
 template class McscrLock<SpinThenParkPolicy>;
 template class McscrLock<ParkPolicy>;
 

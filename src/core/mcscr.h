@@ -318,8 +318,8 @@ class McscrLock {
   AdaptiveSpinBudget spin_budget_;
 };
 
-using McscrSpinLock = McscrLock<SpinPolicy>;    // MCSCR-S
-using McscrStpLock = McscrLock<SpinThenParkPolicy>;  // MCSCR-STP
+using McscrSpinLock = McscrLock<YieldingSpinPolicy>;  // MCSCR-S (yield-aware spin)
+using McscrStpLock = McscrLock<SpinThenParkPolicy>;   // MCSCR-STP
 
 // The library's recommended default lock: MCSCR with spin-then-park waiting.
 using MalthusianMutex = McscrStpLock;

@@ -3,6 +3,7 @@
 namespace malthus {
 
 template class McscrnLock<SpinPolicy>;
+template class McscrnLock<YieldingSpinPolicy>;
 template class McscrnLock<SpinThenParkPolicy>;
 
 }  // namespace malthus

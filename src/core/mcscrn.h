@@ -308,7 +308,7 @@ class McscrnLock {
   AdaptiveSpinBudget spin_budget_;
 };
 
-using McscrnSpinLock = McscrnLock<SpinPolicy>;
+using McscrnSpinLock = McscrnLock<YieldingSpinPolicy>;  // MCSCRN-S (yield-aware spin)
 using McscrnStpLock = McscrnLock<SpinThenParkPolicy>;
 
 }  // namespace malthus

@@ -1,5 +1,7 @@
 #include "src/harness/fixed_time.h"
 
+#include <sched.h>
+
 #include <algorithm>
 #include <cstdlib>
 
@@ -25,6 +27,33 @@ std::chrono::milliseconds DefaultBenchDuration() {
 }
 
 int DefaultBenchRepetitions() { return static_cast<int>(EnvLong("MALTHUS_BENCH_REPS", 1)); }
+
+bool BenchPinningEnabled() {
+  const char* value = std::getenv("MALTHUS_BENCH_PIN");
+  return value == nullptr || *value == '\0' || *value != '0';
+}
+
+void PinThreadToCpuIndex(int index) {
+  cpu_set_t allowed;
+  if (sched_getaffinity(0, sizeof(allowed), &allowed) != 0) {
+    return;
+  }
+  const int allowed_count = CPU_COUNT(&allowed);
+  if (allowed_count <= 0) {
+    return;
+  }
+  // Find the (index % allowed_count)-th set bit of the affinity mask.
+  int target = index % allowed_count;
+  for (int cpu = 0; cpu < CPU_SETSIZE; ++cpu) {
+    if (CPU_ISSET(cpu, &allowed) && target-- == 0) {
+      cpu_set_t pin;
+      CPU_ZERO(&pin);
+      CPU_SET(cpu, &pin);
+      (void)sched_setaffinity(0, sizeof(pin), &pin);
+      return;
+    }
+  }
+}
 
 int MaxSweepThreads() {
   return static_cast<int>(EnvLong("MALTHUS_BENCH_MAXTHREADS", 2L * LogicalCpuCount()));

@@ -6,12 +6,21 @@
 //
 // The body callable is invoked once per iteration as body(thread_index);
 // per-thread state lives in closures indexed by thread_index. Counters are
-// cache-line padded. Median-of-K is provided by RunMedianOfK.
+// cache-line padded. Median-of-K is provided by RunMedianOfK; dispersion
+// (p10/p50/p90 across repetitions) by RunWithDispersion — on small hosts a
+// single median hides scheduler-induced spread larger than the effects the
+// benches exist to measure, so the tracked snapshots report all three.
+//
+// Worker threads are pinned round-robin over the allowed CPUs by default
+// (MALTHUS_BENCH_PIN=0 disables): unpinned runs let the scheduler migrate
+// spinners onto the owner's core mid-interval, which is the dominant
+// variance source ROADMAP flagged for bench_fig02/bench_abl_*.
 //
 // Environment knobs (all optional):
 //   MALTHUS_BENCH_MS          — measurement interval per point (default 100)
-//   MALTHUS_BENCH_REPS        — repetitions for the median (default 1)
+//   MALTHUS_BENCH_REPS        — repetitions for median/dispersion (default 1)
 //   MALTHUS_BENCH_MAXTHREADS  — cap on sweep thread counts (default 2×CPUs)
+//   MALTHUS_BENCH_PIN         — pin worker threads to CPUs (default 1)
 #ifndef MALTHUS_SRC_HARNESS_FIXED_TIME_H_
 #define MALTHUS_SRC_HARNESS_FIXED_TIME_H_
 
@@ -20,6 +29,7 @@
 #include <chrono>
 #include <cstdint>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "src/platform/align.h"
@@ -27,9 +37,17 @@
 
 namespace malthus {
 
+// Whether RunFixedTime pins worker threads (MALTHUS_BENCH_PIN, default on).
+bool BenchPinningEnabled();
+
+// Pins the calling thread to the `index`-th allowed CPU (round-robin over
+// the process affinity mask). Best effort; a no-op on failure.
+void PinThreadToCpuIndex(int index);
+
 struct BenchConfig {
   int threads = 1;
   std::chrono::milliseconds duration{100};
+  bool pin_threads = BenchPinningEnabled();
 };
 
 struct BenchResult {
@@ -64,6 +82,9 @@ BenchResult RunFixedTime(const BenchConfig& config, Body&& body) {
   threads.reserve(static_cast<std::size_t>(n));
   for (int t = 0; t < n; ++t) {
     threads.emplace_back([&, t] {
+      if (config.pin_threads) {
+        PinThreadToCpuIndex(t);
+      }
       ready.fetch_add(1, std::memory_order_acq_rel);
       while (!start.load(std::memory_order_acquire)) {
         std::this_thread::yield();
@@ -103,25 +124,56 @@ BenchResult RunFixedTime(const BenchConfig& config, Body&& body) {
   return result;
 }
 
-// Runs `make_result()` `reps` times and returns the run with the median
-// throughput (ties broken toward the earlier run).
+// Throughput dispersion across repetitions of one benchmark point.
+// Medians alone are misleading exactly where this library operates: on an
+// oversubscribed host the same point can legitimately run 2-5x apart
+// depending on where the scheduler lands the owner, and a reader comparing
+// two medians cannot tell a real regression from that spread.
+struct DispersionStats {
+  double p10 = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  int reps = 0;
+};
+
+// Runs `make_result()` `reps` times; returns the median-throughput run and
+// fills `stats` with the nearest-rank p10/p50/p90 of throughput across the
+// repetitions.
 template <typename MakeResult>
-BenchResult RunMedianOfK(int reps, MakeResult&& make_result) {
+BenchResult RunWithDispersion(int reps, MakeResult&& make_result, DispersionStats* stats) {
+  reps = std::max(reps, 1);
   std::vector<BenchResult> results;
   results.reserve(static_cast<std::size_t>(reps));
+  std::vector<double> throughputs;
+  throughputs.reserve(static_cast<std::size_t>(reps));
   for (int i = 0; i < reps; ++i) {
     results.push_back(make_result());
+    throughputs.push_back(results.back().Throughput());
   }
-  std::size_t best = 0;
   std::vector<std::size_t> order(results.size());
   for (std::size_t i = 0; i < order.size(); ++i) {
     order[i] = i;
   }
-  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    return results[a].Throughput() < results[b].Throughput();
-  });
-  best = order[order.size() / 2];
-  return results[best];
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return throughputs[a] < throughputs[b]; });
+  if (stats != nullptr) {
+    const auto at_percentile = [&](double p) {
+      const auto rank = static_cast<std::size_t>(p * static_cast<double>(order.size() - 1) + 0.5);
+      return throughputs[order[rank]];
+    };
+    stats->p10 = at_percentile(0.10);
+    stats->p50 = at_percentile(0.50);
+    stats->p90 = at_percentile(0.90);
+    stats->reps = reps;
+  }
+  return results[order[order.size() / 2]];
+}
+
+// Runs `make_result()` `reps` times and returns the run with the median
+// throughput.
+template <typename MakeResult>
+BenchResult RunMedianOfK(int reps, MakeResult&& make_result) {
+  return RunWithDispersion(reps, std::forward<MakeResult>(make_result), nullptr);
 }
 
 }  // namespace malthus

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "src/locks/handover_guard.h"
 #include "src/metrics/admission_log.h"
 
 namespace malthus {
@@ -23,8 +24,13 @@ class AnyLock {
   virtual void unlock() = 0;
   virtual std::string name() const = 0;
 
-  // Anticipatory handover hint (see locks/handover_guard.h); a no-op for
-  // algorithms without wake-ahead.
+  // Anticipatory handover hint (see locks/handover_guard.h, re-exported
+  // here so factory users get the whole opt-in surface from one include):
+  // HandoverLockGuard<AnyLock> and PrepareHandoverIfSupported(any_lock)
+  // dispatch through this virtual. A no-op for algorithms without
+  // wake-ahead; every parking lock in the registry (mcs-stp, mcscr-stp,
+  // mcscrn-stp, lifocr-stp, loiter, pthread-style) overrides it — see the
+  // coverage matrix in docs/handover.md.
   virtual void PrepareHandover() {}
 
   // Attaches an admission recorder, if the algorithm supports one.

@@ -65,6 +65,7 @@ void ReleaseQNode(QNode* node) { Arena().free_list.push_back(node); }
 // Instantiation anchors so template code is compiled (and its warnings
 // surfaced) as part of the library build.
 template class McsLock<SpinPolicy>;
+template class McsLock<YieldingSpinPolicy>;
 template class McsLock<SpinThenParkPolicy>;
 template class McsLock<ParkPolicy>;
 

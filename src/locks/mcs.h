@@ -133,7 +133,10 @@ class McsLock {
   AdaptiveSpinBudget spin_budget_;
 };
 
-using McsSpinLock = McsLock<SpinPolicy>;
+// MCS-S uses the yield-aware pure-spin policy: identical to SpinPolicy
+// while spinners fit the effective CPU count, bounded sched_yield pacing
+// once they do not (see waiting/policy.h).
+using McsSpinLock = McsLock<YieldingSpinPolicy>;
 using McsStpLock = McsLock<SpinThenParkPolicy>;
 
 }  // namespace malthus

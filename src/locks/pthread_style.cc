@@ -3,8 +3,18 @@
 #include "src/platform/cpu.h"
 #include "src/rng/xorshift.h"
 #include "src/waiting/backoff.h"
+#include "src/waiting/policy.h"
 
 namespace malthus {
+namespace {
+
+// Cap on the PrepareHandover() stack scan. The hint targets the first
+// still-waiting node; walking past a few abandoned nodes covers the common
+// case, and bailing early merely skips the hint while bounding how long the
+// owner holds the pop lock inside its critical section.
+constexpr int kHintScanLimit = 16;
+
+}  // namespace
 
 PthreadStyleMutex::~PthreadStyleMutex() {
   // Precondition: no thread holds or waits on the mutex. Any nodes left on
@@ -74,6 +84,32 @@ void PthreadStyleMutex::WakeOneWaiter() {
   pop_lock_.store(0, std::memory_order_release);
 }
 
+void PthreadStyleMutex::PrepareHandover() {
+  if (stack_.load(std::memory_order_acquire) == nullptr) {
+    return;  // No waiters: nothing to warm.
+  }
+  // Serialize against poppers with try-acquire semantics: a popper deletes
+  // abandoned nodes, so the scan must exclude it, but the owner must never
+  // block inside its critical section for a mere hint.
+  if (pop_lock_.exchange(1, std::memory_order_acquire) != 0) {
+    return;
+  }
+  WaitNode* node = stack_.load(std::memory_order_acquire);
+  for (int i = 0; node != nullptr && i < kHintScanLimit; ++i) {
+    // Nodes reachable from the stack are either pinned by a waiter
+    // (kOnStack) or owned by poppers (kAbandoned) — and we hold the pop
+    // lock — so the walk cannot touch freed memory. Parkers outlive their
+    // threads (the registry leaks ThreadCtx), so a raced state transition
+    // after this check at worst posts a stale permit.
+    if (node->state.load(std::memory_order_acquire) == kOnStack) {
+      node->parker->WakeAhead();
+      break;
+    }
+    node = node->next;
+  }
+  pop_lock_.store(0, std::memory_order_release);
+}
+
 void PthreadStyleMutex::lock() {
   ThreadCtx& self = Self();
   // Phase 1: bounded polite spinning, capped in the number of concurrent
@@ -120,6 +156,12 @@ void PthreadStyleMutex::lock() {
     }
     while (node->state.load(std::memory_order_acquire) != kPopped) {
       self.parker.Park();
+      // Park() returning without kPopped means the permit was a wake-ahead
+      // hint (or a stale permit): the pop is imminent. Re-spin (shared
+      // pacing — see PostWakeRespin) before re-parking, so the
+      // pop-and-unpark lands on a runnable thread and costs no futex wake.
+      PostWakeRespin(kMinPostWakeSpin,
+                     [&] { return node->state.load(std::memory_order_acquire) == kPopped; });
     }
     if (TryAcquire()) {
       delete node;

@@ -7,6 +7,10 @@
 // context-switch rate and keeps the ACS stable) — pops one waiter and
 // unparks it as heir presumptive. The woken thread re-contends; barging
 // arrivals may beat it, so admission is unfair with unbounded bypass.
+// Owners can additionally call PrepareHandover() (wake-ahead, §5.2) from
+// the critical-section tail: the predicted heir's kernel wakeup then
+// overlaps the remaining hold, and the pop-and-unpark at release becomes a
+// syscall-free permit post onto a re-spinning waiter.
 //
 // Correctness notes:
 //   * Pops are serialized by a tiny internal spinlock. With a single
@@ -42,6 +46,20 @@ class PthreadStyleMutex {
   void lock();
   bool try_lock();
   void unlock();
+
+  // Anticipatory handover (wake-ahead, §5.2): called by the owner near the
+  // end of its critical section, before unlock(). Predicts the waiter the
+  // coming unlock() will pop — the topmost stack node still in kOnStack —
+  // and posts its wake permit, so a parked waiter overlaps its kernel
+  // wakeup with the critical-section tail and re-spins on its node state;
+  // the eventual pop-and-unpark then collapses into a syscall-free permit
+  // post. The scan briefly takes the pop lock (poppers delete abandoned
+  // nodes, so an unserialized walk could touch freed memory); if a lagging
+  // popper from an earlier unlock still holds it, the hint is simply
+  // skipped — it is only ever a hint. Succession here is competitive, so
+  // mispredictions (a barging acquirer, a fresher push) leave a stale
+  // permit, which only degrades that waiter to one re-spin round.
+  void PrepareHandover();
 
   void set_recorder(AdmissionLog* recorder) { recorder_ = recorder; }
   void set_spin_budget(std::uint32_t budget) { spin_budget_ = budget; }

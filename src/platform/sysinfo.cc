@@ -3,10 +3,51 @@
 #include <sched.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <fstream>
 #include <string>
 
 namespace malthus {
+namespace {
+
+// Test override for EffectiveCpuCount(); 0 means "use the measured value".
+std::atomic<int> g_effective_cpus_override{0};
+
+// CPUs granted by a cgroup CPU-bandwidth quota, rounded up, or 0 when no
+// quota applies (or none is detectable). Checks cgroup v2 first, then v1.
+// Both files are read at the mount root: containers get a namespaced view
+// where that is the right scope, and on an unconfined host the files either
+// do not exist or read "max"/-1.
+int CgroupQuotaCpus() {
+  // v2: "cpu.max" holds "<quota-us>|max <period-us>".
+  if (std::ifstream v2("/sys/fs/cgroup/cpu.max"); v2) {
+    std::string quota_str;
+    long long period = 0;
+    v2 >> quota_str >> period;
+    if (v2 && quota_str != "max" && period > 0) {
+      try {
+        const long long quota = std::stoll(quota_str);
+        if (quota > 0) {
+          return static_cast<int>((quota + period - 1) / period);
+        }
+      } catch (...) {
+        // Malformed entry; treat as unlimited.
+      }
+    }
+    return 0;
+  }
+  // v1: separate quota/period files; quota -1 means unlimited.
+  std::ifstream quota_file("/sys/fs/cgroup/cpu/cpu.cfs_quota_us");
+  std::ifstream period_file("/sys/fs/cgroup/cpu/cpu.cfs_period_us");
+  long long quota = -1;
+  long long period = 0;
+  if (quota_file >> quota && period_file >> period && quota > 0 && period > 0) {
+    return static_cast<int>((quota + period - 1) / period);
+  }
+  return 0;
+}
+
+}  // namespace
 
 int LogicalCpuCount() {
   cpu_set_t set;
@@ -51,6 +92,40 @@ std::size_t LastLevelCacheBytes() {
     }
   }
   return best > 0 ? best : (8u << 20);  // Paper's T5 LLC as fallback.
+}
+
+int EffectiveCpuCount() {
+  const int forced = g_effective_cpus_override.load(std::memory_order_relaxed);
+  if (forced > 0) {
+    return forced;
+  }
+  static const int measured = [] {
+    // Deliberately NOT LogicalCpuCount(): that reads the *calling thread's*
+    // affinity mask, and the first call here can come from a bench worker
+    // the harness already pinned to one CPU (fixed_time.h) — which would
+    // poison this once-only cache to 1 for the whole process. The main
+    // thread's mask (tid == getpid()) reflects operator-level confinement
+    // (taskset, container cpusets) without per-worker pinning.
+    int n = 0;
+    cpu_set_t set;
+    if (sched_getaffinity(getpid(), sizeof(set), &set) == 0) {
+      n = CPU_COUNT(&set);
+    }
+    if (n <= 0) {
+      const long online = sysconf(_SC_NPROCESSORS_ONLN);
+      n = online > 0 ? static_cast<int>(online) : 1;
+    }
+    const int quota = CgroupQuotaCpus();
+    if (quota > 0 && quota < n) {
+      n = quota;
+    }
+    return n > 0 ? n : 1;
+  }();
+  return measured;
+}
+
+void SetEffectiveCpuCountForTesting(int n) {
+  g_effective_cpus_override.store(n > 0 ? n : 0, std::memory_order_relaxed);
 }
 
 int CurrentCpu() { return sched_getcpu(); }

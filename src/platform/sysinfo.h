@@ -14,6 +14,20 @@ namespace malthus {
 // Number of logical CPUs available to this process.
 int LogicalCpuCount();
 
+// Number of CPUs this process can *effectively* run on concurrently: the
+// affinity-mask count further limited by a cgroup CPU-bandwidth quota
+// (cgroup v2 `cpu.max`, v1 `cpu.cfs_quota_us`/`cpu.cfs_period_us`).
+// Containers routinely advertise the host's full CPU count while capping
+// the runnable share at a fraction of one core; pure spinning sized to the
+// advertised count then burns the whole quota on preemption ticks. Always
+// >= 1; computed once and cached.
+int EffectiveCpuCount();
+
+// Test hook: forces EffectiveCpuCount() to return `n` (n >= 1). Pass 0 to
+// restore the measured value. Tests that exercise oversubscription
+// escalation use this to simulate a 1-CPU host deterministically.
+void SetEffectiveCpuCountForTesting(int n);
+
 // Best-effort size of the last-level cache in bytes (shared L3 if present,
 // else largest cache found). Falls back to 8 MB.
 std::size_t LastLevelCacheBytes();

@@ -8,6 +8,9 @@
 #ifndef MALTHUS_SRC_WAITING_BACKOFF_H_
 #define MALTHUS_SRC_WAITING_BACKOFF_H_
 
+#include <sched.h>
+
+#include <algorithm>
 #include <cstdint>
 
 #include "src/platform/cpu.h"
@@ -43,6 +46,41 @@ class ExponentialBackoff {
   std::uint32_t ceiling_;
   std::uint32_t max_ceiling_;
   std::uint32_t initial_ceiling_snapshot_;
+};
+
+// Spin-then-yield pacing for spinning on a host that cannot actually run
+// every spinner: each Pause() spins a *bounded* burst, then sched_yield()s
+// so the thread that must make progress (typically the lock owner, or the
+// heir it granted) can have the CPU. Bursts decay geometrically from
+// `initial_burst` down to `min_burst`: the first yields are a cheap bet
+// that the grant is imminent; once that bet has lost a few times the waiter
+// is preemption-tick-bound anyway, and shorter bursts cede the CPU faster
+// without adding coherence traffic (the flag poll rate is already bounded
+// by the scheduler). Reset() restores the initial burst for the next wait.
+class YieldingBackoff {
+ public:
+  explicit YieldingBackoff(std::uint32_t initial_burst = 1024, std::uint32_t min_burst = 64)
+      : burst_(initial_burst), min_burst_(min_burst), initial_burst_(initial_burst) {}
+
+  void Pause() {
+    for (std::uint32_t i = 0; i < burst_; ++i) {
+      CpuRelax();
+    }
+    sched_yield();
+    ++yields_;
+    burst_ = std::max(burst_ / 2, min_burst_);
+  }
+
+  void Reset() { burst_ = initial_burst_; }
+
+  std::uint32_t burst() const { return burst_; }
+  std::uint64_t yields() const { return yields_; }
+
+ private:
+  std::uint32_t burst_;
+  std::uint32_t min_burst_;
+  std::uint32_t initial_burst_;
+  std::uint64_t yields_ = 0;
 };
 
 // Backoff proportional to queue position (ticket locks): a thread k slots

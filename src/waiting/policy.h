@@ -1,7 +1,17 @@
 // Waiting policies (§5.1 of the paper), expressed as types plugged into the
 // lock templates.
 //
-//   SpinPolicy         — unbounded polite local spinning (MCS-S, MCSCR-S).
+//   SpinPolicy         — unbounded polite local spinning (the paper's pure
+//                        -S waiting, kept as the reference building block).
+//   YieldingSpinPolicy — SpinPolicy that detects *effective* oversubscription
+//                        (more concurrent spinners than cgroup-aware
+//                        effective CPUs) and degrades to bounded
+//                        spin-then-sched_yield bursts so pure-spin locks
+//                        make forward progress instead of burning whole
+//                        preemption ticks. This is what the -S lock aliases
+//                        (MCS-S, MCSCR-S, LIFO-S, MCSCRN-S) use: with
+//                        spinners <= effective CPUs it is byte-for-byte pure
+//                        spinning, so the paper's regime is unchanged.
 //   SpinThenParkPolicy — bounded spin approximating one context-switch round
 //                        trip, then park (MCS-STP, MCSCR-STP). Karlin/Lim:
 //                        spinning for the switch cost then parking is
@@ -39,6 +49,8 @@
 
 #include "src/platform/cpu.h"
 #include "src/platform/park.h"
+#include "src/platform/sysinfo.h"
+#include "src/waiting/backoff.h"
 #include "src/waiting/spin_budget.h"
 
 namespace malthus {
@@ -60,6 +72,29 @@ inline constexpr std::uint32_t kPostWakeYieldSlice = 256;
 // locks' emergent structure (e.g. MCSCRN's node-homogeneous chain).
 inline constexpr std::uint32_t kMaxPostWakeYields = 2;
 
+// The shared post-wake re-spin: after a Park()/ParkFor() consumed a permit
+// that was a wake-ahead hint (or a stale permit), spin up to `iters`
+// iterations waiting for `granted()` — yielding every kPostWakeYieldSlice,
+// at most kMaxPostWakeYields times, so a co-resident owner can reach its
+// release. Returns true iff the grant was observed. Used by
+// SpinThenParkPolicy, LOITER's standby wait, and PthreadStyleMutex's node
+// wait, so hint-to-grant pacing is tuned in exactly one place.
+template <typename Granted>
+inline bool PostWakeRespin(std::uint32_t iters, Granted&& granted) {
+  std::uint32_t yields = 0;
+  for (std::uint32_t i = 0; i < iters; ++i) {
+    if (granted()) {
+      return true;
+    }
+    CpuRelax();
+    if ((i + 1) % kPostWakeYieldSlice == 0 && yields < kMaxPostWakeYields) {
+      ++yields;
+      sched_yield();
+    }
+  }
+  return granted();
+}
+
 struct SpinPolicy {
   static constexpr bool kParks = false;
 
@@ -78,6 +113,141 @@ struct SpinPolicy {
   }
 
   static void Wake(Parker& /*parker*/) {}
+};
+
+namespace detail {
+
+// Process-wide gauge of threads currently inside a YieldingSpinPolicy wait.
+// The escalation predicate compares it against the cgroup-aware effective
+// CPU count: it deliberately ignores non-spinning runnable threads (owners,
+// STP waiters still in their spin phase), so it under-counts pressure — the
+// cheap, safe direction, since a missed escalation only costs what pure
+// spinning already cost.
+inline std::atomic<std::uint32_t> g_active_spinners{0};
+
+// Times a spinner gave up pure spinning for the yield loop (process-wide,
+// for tests and instrumentation).
+inline std::atomic<std::uint64_t> g_spin_yield_escalations{0};
+
+}  // namespace detail
+
+// Number of threads currently spinning under YieldingSpinPolicy.
+inline std::uint32_t ActiveSpinners() {
+  return detail::g_active_spinners.load(std::memory_order_relaxed);
+}
+
+// Process-wide count of pure-spin waits that escalated to sched_yield
+// pacing because the spinner population exceeded the effective CPU count.
+inline std::uint64_t TotalSpinYieldEscalations() {
+  return detail::g_spin_yield_escalations.load(std::memory_order_relaxed);
+}
+
+// Pure spinning that survives oversubscription. Identical to SpinPolicy
+// while the concurrent-spinner population fits the effective CPU count
+// (cgroup-aware; see platform/sysinfo.h). Once spinners >= effective CPUs,
+// at least one runnable thread — possibly the lock owner — is involuntarily
+// descheduled, and every further spin iteration only lengthens its wait:
+// each preempted handover then costs a full preemption tick (the pathology
+// that makes the pure-spin suites hang on 1-CPU hosts). The policy then
+// grants one last bounded grace burst (capped at the adaptive budget, which
+// observes how long escalated waits actually take) and degrades to
+// YieldingBackoff's bounded spin-then-sched_yield bursts, de-escalating
+// back to pure spinning if the spinner population drains below the CPU
+// count mid-wait. Never parks: Wake stays a no-op and granters never pay a
+// futex syscall, preserving the -S cost model.
+struct YieldingSpinPolicy {
+  static constexpr bool kParks = false;
+
+  // Iterations of pure spinning between re-reads of the (process-wide)
+  // spinner gauge; keeps the hot loop free of shared-counter loads.
+  static constexpr std::uint32_t kProbeSlice = 256;
+
+  // Ceiling on the post-detection grace burst. The grace hedge is "the
+  // grant may be a few hundred ns away; don't pay a yield for it" — a few
+  // thousand iterations cover that; anything longer is tick-bound anyway.
+  static constexpr std::uint32_t kMaxGraceSpin = 4096;
+
+  template <typename T>
+  static void Await(const std::atomic<T>& flag, T expected_while_waiting, Parker& parker,
+                    std::uint32_t spin_budget = kDefaultSpinBudget) {
+    AwaitImpl(flag, expected_while_waiting, parker, spin_budget, nullptr);
+  }
+
+  // Adaptive variant: the budget bounds the grace burst, and escalated
+  // waits feed their observed grant latency back into the EMA — the same
+  // "cost of waiting after ceding the CPU" quantity STP feeds from parked
+  // handovers — so instrumentation (samples/ema_ns) reflects reality and
+  // the grace burst tracks what escalated grants actually cost.
+  template <typename T>
+  static void Await(const std::atomic<T>& flag, T expected_while_waiting, Parker& parker,
+                    AdaptiveSpinBudget& budget) {
+    AwaitImpl(flag, expected_while_waiting, parker, budget.Get(), &budget);
+  }
+
+  static void Wake(Parker& /*parker*/) {}
+
+ private:
+  static bool Oversubscribed() {
+    return detail::g_active_spinners.load(std::memory_order_relaxed) >=
+           static_cast<std::uint32_t>(EffectiveCpuCount());
+  }
+
+  template <typename T>
+  static void AwaitImpl(const std::atomic<T>& flag, T expected_while_waiting, Parker& /*parker*/,
+                        std::uint32_t spin_budget, AdaptiveSpinBudget* budget) {
+    if (flag.load(std::memory_order_acquire) != expected_while_waiting) {
+      return;
+    }
+    detail::g_active_spinners.fetch_add(1, std::memory_order_relaxed);
+    const bool timing = budget != nullptr;
+    const auto wait_begin =
+        timing ? std::chrono::steady_clock::now() : std::chrono::steady_clock::time_point{};
+    bool ever_escalated = false;
+    bool yielding = false;
+    std::uint32_t probe = 0;
+    YieldingBackoff backoff;
+    while (flag.load(std::memory_order_acquire) == expected_while_waiting) {
+      if (yielding) {
+        backoff.Pause();
+        if (!Oversubscribed()) {
+          yielding = false;  // Population drained; pure spinning is rational again.
+          backoff.Reset();
+        }
+        continue;
+      }
+      CpuRelax();
+      if (++probe >= kProbeSlice) {
+        probe = 0;
+        if (Oversubscribed()) {
+          // Grace: one bounded pure-spin burst in case the grant is already
+          // in flight, then start ceding the CPU. A grant landing inside
+          // the grace burst still counts as a pure-spin wait.
+          const std::uint32_t grace = std::min(spin_budget, kMaxGraceSpin);
+          for (std::uint32_t i = 0;
+               i < grace && flag.load(std::memory_order_acquire) == expected_while_waiting; ++i) {
+            CpuRelax();
+          }
+          if (flag.load(std::memory_order_acquire) != expected_while_waiting) {
+            break;
+          }
+          yielding = true;
+          if (!ever_escalated) {
+            ever_escalated = true;
+            detail::g_spin_yield_escalations.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    }
+    detail::g_active_spinners.fetch_sub(1, std::memory_order_relaxed);
+    // Only escalated waits feed the EMA, mirroring SpinThenParkPolicy's
+    // parked-round filter: a grant that lands during pure spinning is not
+    // an observation of post-descheduling grant latency.
+    if (timing && ever_escalated) {
+      const auto elapsed = std::chrono::steady_clock::now() - wait_begin;
+      budget->RecordParkedHandoverNs(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
+    }
+  }
 };
 
 struct SpinThenParkPolicy {
@@ -124,17 +294,9 @@ struct SpinThenParkPolicy {
     while (flag.load(std::memory_order_acquire) == expected_while_waiting) {
       parked = true;
       parker.Park();
-      std::uint32_t yields = 0;
-      for (std::uint32_t i = 0; i < respin; ++i) {
-        if (flag.load(std::memory_order_acquire) != expected_while_waiting) {
-          break;
-        }
-        CpuRelax();
-        if ((i + 1) % kPostWakeYieldSlice == 0 && yields < kMaxPostWakeYields) {
-          ++yields;
-          sched_yield();
-        }
-      }
+      PostWakeRespin(respin, [&] {
+        return flag.load(std::memory_order_acquire) != expected_while_waiting;
+      });
     }
     // Only rounds that really parked feed the EMA: a grant that lands just
     // after the spin phase would otherwise record a ~0 ns "handover" and

@@ -1,0 +1,60 @@
+// Shared helpers for contention tests.
+//
+// Iteration counts that are comfortable when every contender has its own
+// CPU are preemption-tick-bound on hosts that cannot run the contenders in
+// parallel: each handover to a descheduled waiter can cost a scheduling
+// quantum, so wall time scales with iterations x threads / effective CPUs
+// rather than with iterations. ScaledIters() keeps the *shape* of a test
+// (same thread count, same interleavings) while scaling the round count to
+// what the host can retire inside the ctest timeout. On hosts with
+// cpus >= threads it returns `base` unchanged, so well-provisioned CI keeps
+// full coverage.
+#ifndef MALTHUS_TESTS_CONTENTION_H_
+#define MALTHUS_TESTS_CONTENTION_H_
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+#include "src/platform/park.h"
+#include "src/platform/sysinfo.h"
+
+namespace malthus {
+namespace test {
+
+// Floor for scaled iteration counts: enough rounds that every thread still
+// crosses the contended paths (enqueue, cull, fairness grant) many times.
+inline constexpr int kMinScaledIters = 1000;
+
+inline int ScaledIters(int base, int threads) {
+  const int cpus = EffectiveCpuCount();
+  if (threads <= 0 || cpus >= threads) {
+    return base;
+  }
+  return std::max(base * cpus / threads, std::min(base, kMinScaledIters));
+}
+
+// True when the host cannot run even two threads in parallel. Tests whose
+// assertion is a *concurrency-emergent* property — LWSS restriction,
+// throughput scaling with threads, admission-gate throttling — skip on
+// such hosts: with one effective CPU, threads execute their critical
+// sections back-to-back within scheduling quanta, the circulating set
+// never overlaps, and the property under test cannot physically manifest
+// (it fails on scheduler mood, not on code). Correctness tests (mutual
+// exclusion, progress, counters) must NOT use this: they run everywhere.
+inline bool SingleCpuHost() { return EffectiveCpuCount() < 2; }
+
+// Waits until the process-wide kernel-park counter passes `threshold`,
+// i.e. some thread has committed to blocking in the kernel. The standard
+// way to sequence "waiter is genuinely parked" before poking wake-ahead.
+inline void AwaitKernelParksAbove(std::uint64_t threshold) {
+  while (TotalKernelParks() <= threshold) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+}  // namespace test
+}  // namespace malthus
+
+#endif  // MALTHUS_TESTS_CONTENTION_H_

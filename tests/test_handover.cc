@@ -12,29 +12,27 @@
 
 #include "src/core/cr_semaphore.h"
 #include "src/core/lifocr.h"
+#include "src/core/loiter.h"
 #include "src/core/mcscr.h"
+#include "src/locks/any_lock.h"
 #include "src/locks/handover_guard.h"
 #include "src/locks/mcs.h"
+#include "src/locks/pthread_style.h"
 #include "src/platform/calibrate.h"
 #include "src/platform/park.h"
 #include "src/waiting/spin_budget.h"
+#include "tests/contention.h"
 
 namespace malthus {
 namespace {
 
 using namespace std::chrono_literals;
 
+using test::AwaitKernelParksAbove;
+
 // A spin budget that will not expire within any test's lifetime, used to
 // hold a waiter in the spinning phase deterministically.
 constexpr std::uint32_t kHugeSpinBudget = 4'000'000'000u;
-
-// Waits until the process-wide kernel-park counter passes `threshold`,
-// i.e. some thread has committed to blocking in the kernel.
-void AwaitKernelParksAbove(std::uint64_t threshold) {
-  while (TotalKernelParks() <= threshold) {
-    std::this_thread::sleep_for(1ms);
-  }
-}
 
 // ---------------------------------------------------------------------------
 // Parker::WakeAhead semantics.
@@ -213,11 +211,18 @@ TEST(PrepareHandover, NoSuccessorIsANoOp) {
 
 TEST(PrepareHandover, WorksAcrossLockFamilies) {
   // Smoke: every family's PrepareHandover() fires on a parked successor and
-  // the handover still completes.
+  // the handover still completes. With this PR that is *all* the parking
+  // locks — the composite LOITER and the competitive-succession
+  // PthreadStyleMutex included.
   const std::uint64_t aheads_before = TotalWakeAheads();
 
   McscrLock<SpinThenParkPolicy> mcscr{McscrOptions{.spin_budget = 0}};
   LifoCrLock<SpinThenParkPolicy> lifocr{LifoCrOptions{.spin_budget = 0}};
+  LoiterOptions loiter_opts;
+  loiter_opts.fast_spin_attempts = 1;  // Contenders go straight to standby.
+  LoiterLock loiter{loiter_opts};
+  PthreadStyleMutex pthread_style;
+  pthread_style.set_spin_budget(0);
 
   auto run = [](auto& lock) {
     lock.lock();
@@ -236,7 +241,101 @@ TEST(PrepareHandover, WorksAcrossLockFamilies) {
   };
   run(mcscr);
   run(lifocr);
-  EXPECT_GE(TotalWakeAheads() - aheads_before, 2u);
+  run(loiter);
+  run(pthread_style);
+  EXPECT_GE(TotalWakeAheads() - aheads_before, 4u);
+}
+
+// ---------------------------------------------------------------------------
+// PthreadStyleMutex wake-ahead.
+
+TEST(PthreadStyleHandover, ParkedWaiterIsWokenAheadAndGrantElidesSyscall) {
+  PthreadStyleMutex lock;
+  lock.set_spin_budget(0);  // Contenders park promptly.
+  lock.lock();
+  std::atomic<bool> acquired{false};
+  const std::uint64_t parks_before = TotalKernelParks();
+  std::thread waiter([&] {
+    lock.lock();
+    acquired.store(true, std::memory_order_release);
+    lock.unlock();
+  });
+  AwaitKernelParksAbove(parks_before);
+
+  const std::uint64_t aheads_before = TotalWakeAheads();
+  const std::uint64_t wakes_before = TotalKernelWakes();
+  lock.PrepareHandover();
+  EXPECT_EQ(TotalWakeAheads() - aheads_before, 1u);
+  // The waiter was blocked in the kernel: the hint paid the futex wake
+  // inside our critical section.
+  EXPECT_EQ(TotalKernelWakes() - wakes_before, 1u);
+  lock.unlock();
+  waiter.join();
+  EXPECT_TRUE(acquired.load());
+  // The pop-and-unpark at release must not have issued a second kernel
+  // wake: the waiter was re-spinning on its node (or still held the
+  // collapsed permit).
+  EXPECT_LE(TotalKernelWakes() - wakes_before, 1u);
+}
+
+TEST(PthreadStyleHandover, EmptyStackIsANoOp) {
+  PthreadStyleMutex lock;
+  lock.lock();
+  const std::uint64_t aheads_before = TotalWakeAheads();
+  lock.PrepareHandover();
+  EXPECT_EQ(TotalWakeAheads(), aheads_before);
+  lock.unlock();
+}
+
+TEST(PthreadStyleHandover, GuardedContentionStaysCorrect) {
+  // Wake-ahead on every release under real contention: exclusion, progress,
+  // and node-lifecycle integrity (pops, abandons, re-enqueues) must hold
+  // with hints interleaved at arbitrary points.
+  PthreadStyleMutex lock;
+  lock.set_spin_budget(16);  // Exercise the park path hard.
+  std::uint64_t counter = 0;
+  constexpr int kThreads = 6;
+  constexpr int kIters = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        HandoverLockGuard<PthreadStyleMutex> guard(lock);
+        ++counter;
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(counter, static_cast<std::uint64_t>(kThreads) * kIters);
+}
+
+// ---------------------------------------------------------------------------
+// Type-erased dispatch: the registry's virtual PrepareHandover() must reach
+// the newly covered locks, including through HandoverLockGuard<AnyLock>.
+
+TEST(PrepareHandover, DispatchesThroughTypeErasedRegistry) {
+  for (const std::string name : {"pthread-style", "loiter"}) {
+    auto lock = MakeLock(name);
+    ASSERT_NE(lock, nullptr) << name;
+    std::atomic<bool> acquired{false};
+    const std::uint64_t parks_before = TotalKernelParks();
+    const std::uint64_t aheads_before = TotalWakeAheads();
+    std::thread waiter;
+    {
+      HandoverLockGuard<AnyLock> guard(*lock);
+      waiter = std::thread([&] {
+        lock->lock();
+        acquired.store(true, std::memory_order_release);
+        lock->unlock();
+      });
+      AwaitKernelParksAbove(parks_before);
+    }  // Guard fires PrepareHandover() through the vtable, then unlock().
+    waiter.join();
+    EXPECT_TRUE(acquired.load()) << name;
+    EXPECT_GE(TotalWakeAheads() - aheads_before, 1u) << name;
+  }
 }
 
 TEST(PrepareHandover, GuardFiresBeforeUnlock) {

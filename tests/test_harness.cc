@@ -7,6 +7,7 @@
 
 #include "src/harness/fixed_time.h"
 #include "src/harness/table.h"
+#include "tests/contention.h"
 
 namespace malthus {
 namespace {
@@ -50,6 +51,9 @@ TEST(FixedTime, BodySeesCorrectThreadIndices) {
 TEST(FixedTime, ThroughputScalesWithParallelism) {
   // An embarrassingly parallel body must speed up with threads (loose 1.5x
   // bound to stay robust on loaded CI machines).
+  if (test::SingleCpuHost()) {
+    GTEST_SKIP() << "throughput cannot scale with threads on one effective CPU";
+  }
   BenchConfig one;
   one.threads = 1;
   one.duration = std::chrono::milliseconds(100);

@@ -9,9 +9,12 @@
 
 #include "src/core/lifocr.h"
 #include "src/metrics/admission_log.h"
+#include "tests/contention.h"
 
 namespace malthus {
 namespace {
+
+using test::ScaledIters;
 
 TEST(LifoCr, EldestGrantBoundsStarvation) {
   LifoCrOptions opts;
@@ -68,12 +71,16 @@ TEST(LifoCr, RestrictsWorkingSet) {
 
 TEST(LifoCr, HighChurnStackIntegrity) {
   // Rapid push/pop with mixed hold times stresses the push/pop CAS paths.
+  // CPU-count-gated: pure-spin handovers on a host that cannot run all the
+  // contenders are scheduler-paced, so the round count scales with the
+  // effective CPU count (the churn pattern itself is unchanged).
   LifoCrSpinLock lock;
   std::uint64_t counter = 0;
+  const int kIters = ScaledIters(20000, 8);
   std::vector<std::thread> workers;
   for (int t = 0; t < 8; ++t) {
     workers.emplace_back([&, t] {
-      for (int i = 0; i < 20000; ++i) {
+      for (int i = 0; i < kIters; ++i) {
         lock.lock();
         counter = counter + 1;
         if ((i & 1023) == 0) {
@@ -86,7 +93,7 @@ TEST(LifoCr, HighChurnStackIntegrity) {
   for (auto& w : workers) {
     w.join();
   }
-  EXPECT_EQ(counter, 8u * 20000u);
+  EXPECT_EQ(counter, 8u * static_cast<std::uint64_t>(kIters));
 }
 
 TEST(LifoCr, FairnessPathExercisedUnderSpinWaiting) {
@@ -94,12 +101,22 @@ TEST(LifoCr, FairnessPathExercisedUnderSpinWaiting) {
   opts.fairness_one_in = 50;
   LifoCrSpinLock lock(opts);
   std::uint64_t counter = 0;
+  // CPU-count-gated (see HighChurnStackIntegrity). The periodic yield
+  // *inside* the critical section forces waiters to stack even on a 1-CPU
+  // host (where free-running threads would otherwise each complete a whole
+  // quantum uncontended and never give fairness a Bernoulli trial); each
+  // yield window stacks the other workers, yielding thousands of
+  // stacked-unlock trials at 1/50 even at the scaled floor.
+  const int kIters = ScaledIters(20000, 6);
   std::vector<std::thread> workers;
   for (int t = 0; t < 6; ++t) {
     workers.emplace_back([&] {
-      for (int i = 0; i < 20000; ++i) {
+      for (int i = 0; i < kIters; ++i) {
         lock.lock();
         ++counter;
+        if ((i & 31) == 0) {
+          std::this_thread::yield();
+        }
         lock.unlock();
       }
     });
@@ -107,7 +124,7 @@ TEST(LifoCr, FairnessPathExercisedUnderSpinWaiting) {
   for (auto& w : workers) {
     w.join();
   }
-  EXPECT_EQ(counter, 6u * 20000u);
+  EXPECT_EQ(counter, 6u * static_cast<std::uint64_t>(kIters));
   EXPECT_GT(lock.fairness_grants(), 0u);
 }
 

@@ -19,9 +19,12 @@
 #include "src/locks/tas.h"
 #include "src/locks/ticket.h"
 #include "src/metrics/admission_log.h"
+#include "tests/contention.h"
 
 namespace malthus {
 namespace {
+
+using test::ScaledIters;
 
 // ---------------------------------------------------------------------------
 // Parameterized property tests over all real locks (the degenerate "null"
@@ -39,7 +42,10 @@ TEST_P(AllLocksTest, MutualExclusionUnderContention) {
   auto lock = MakeLock(GetParam());
   ASSERT_NE(lock, nullptr);
   constexpr int kThreads = 8;
-  constexpr int kIters = 4000;
+  // CPU-count-gated: full coverage with cpus >= threads, scaled-down rounds
+  // on smaller hosts where each contended handover can cost a scheduling
+  // quantum (this instantiates over the pure-spin variants too).
+  const int kIters = ScaledIters(4000, kThreads);
   std::uint64_t counter = 0;  // Deliberately non-atomic.
   std::vector<std::thread> threads;
   for (int t = 0; t < kThreads; ++t) {
@@ -75,10 +81,11 @@ TEST_P(AllLocksTest, CriticalSectionStateIsConsistent) {
   std::uint64_t b = 0;
   std::atomic<bool> mismatch{false};
   constexpr int kThreads = 6;
+  const int kIters = ScaledIters(3000, kThreads);
   std::vector<std::thread> threads;
   for (int t = 0; t < kThreads; ++t) {
     threads.emplace_back([&] {
-      for (int i = 0; i < 3000; ++i) {
+      for (int i = 0; i < kIters; ++i) {
         lock->lock();
         if (a != b) {
           mismatch.store(true);
@@ -101,10 +108,11 @@ TEST_P(AllLocksTest, NestedDistinctLocks) {
   auto inner = MakeLock(GetParam());
   ASSERT_NE(outer, nullptr);
   std::uint64_t counter = 0;
+  const int kIters = ScaledIters(2000, 4);
   std::vector<std::thread> threads;
   for (int t = 0; t < 4; ++t) {
     threads.emplace_back([&] {
-      for (int i = 0; i < 2000; ++i) {
+      for (int i = 0; i < kIters; ++i) {
         outer->lock();
         inner->lock();
         ++counter;
@@ -116,7 +124,7 @@ TEST_P(AllLocksTest, NestedDistinctLocks) {
   for (auto& th : threads) {
     th.join();
   }
-  EXPECT_EQ(counter, 4u * 2000u);
+  EXPECT_EQ(counter, 4u * static_cast<std::uint64_t>(kIters));
 }
 
 TEST_P(AllLocksTest, OversubscribedProgress) {
@@ -322,10 +330,11 @@ TEST(TryLock, TicketRefusesWhenWaitersQueued) {
 TEST(PthreadStyle, UnfairBargingIsPossibleButProgressHolds) {
   PthreadStyleMutex lock;
   std::uint64_t counter = 0;
+  const int kIters = ScaledIters(5000, 8);
   std::vector<std::thread> threads;
   for (int t = 0; t < 8; ++t) {
     threads.emplace_back([&] {
-      for (int i = 0; i < 5000; ++i) {
+      for (int i = 0; i < kIters; ++i) {
         lock.lock();
         ++counter;
         lock.unlock();
@@ -335,7 +344,7 @@ TEST(PthreadStyle, UnfairBargingIsPossibleButProgressHolds) {
   for (auto& th : threads) {
     th.join();
   }
-  EXPECT_EQ(counter, 8u * 5000u);
+  EXPECT_EQ(counter, 8u * static_cast<std::uint64_t>(kIters));
 }
 
 TEST(PthreadStyle, SpinnerCapAndBudgetConfigurable) {

@@ -1,5 +1,7 @@
 // LOITER specifics: fast/slow path accounting, impatience-triggered direct
-// handoff, optimization toggles, and progress under oversubscription.
+// handoff, optimization toggles, progress under oversubscription, and the
+// wake-ahead (PrepareHandover) standby path: heir prediction, kernel-wake
+// elision on the grant, and starvation bounds with hints in flight.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -8,9 +10,14 @@
 #include <vector>
 
 #include "src/core/loiter.h"
+#include "src/locks/handover_guard.h"
+#include "src/platform/park.h"
+#include "tests/contention.h"
 
 namespace malthus {
 namespace {
+
+using test::AwaitKernelParksAbove;
 
 // Spawns `n` workers that all start together (no startup skew) and runs
 // `body(t)` kIters times in each.
@@ -75,17 +82,33 @@ TEST(Loiter, SlowPathEngagesUnderPressure) {
   opts.fast_spin_attempts = 4;
   opts.max_fast_spinners = 1;
   LoiterLock lock(opts);
+  // Deterministic pressure (a free-running herd almost never overlaps a
+  // 50-iteration hold on a 1-CPU host): hold the lock so the contender's
+  // bounded fast-spin phase provably fails, forcing the slow path.
+  lock.lock();
+  const std::uint64_t parks_before = TotalKernelParks();
+  std::thread contender([&] {
+    lock.lock();
+    lock.unlock();
+  });
+  AwaitKernelParksAbove(parks_before);  // Contender is the parked standby.
+  lock.unlock();
+  contender.join();
+  EXPECT_EQ(lock.slow_acquires(), 1u);
+  EXPECT_EQ(lock.fast_acquires(), 1u);
+
+  // And the free-running herd still upholds exclusion and progress.
+  std::uint64_t counter = 0;
   RunTogether(8, 3000, [&](int) {
     lock.lock();
-    // A non-trivial hold keeps the outer lock busy so arrivals fail their
-    // (short) spin phase.
+    ++counter;
     volatile int sink = 0;
     for (int k = 0; k < 50; ++k) {
       sink = sink + k;
     }
     lock.unlock();
   });
-  EXPECT_GT(lock.slow_acquires(), 0u);
+  EXPECT_EQ(counter, 8u * 3000u);
 }
 
 TEST(Loiter, ImpatientStandbyGetsDirectHandoff) {
@@ -118,25 +141,31 @@ TEST(Loiter, ImpatientStandbyGetsDirectHandoff) {
 }
 
 TEST(Loiter, DirectHandoffCounterAdvancesWhenForced) {
+  // Deterministic orchestration (the previous free-running version relied
+  // on arrivals overlapping a 30-iteration hold, which a 1-CPU host almost
+  // never schedules): hold the lock, let an always-impatient contender
+  // become the parked standby — it requests a handoff before parking — and
+  // verify the next unlock takes the direct-handoff path.
   LoiterOptions opts;
   opts.patience = std::chrono::nanoseconds(0);  // Always impatient.
   opts.fast_spin_attempts = 1;
-  opts.max_fast_spinners = 1;  // Most contenders go standby.
+  opts.max_fast_spinners = 1;
+  opts.standby_park_slice = std::chrono::seconds(10);
   LoiterLock lock(opts);
-  std::uint64_t counter = 0;
-  RunTogether(6, 5000, [&](int) {
+  lock.lock();
+  const std::uint64_t parks_before = TotalKernelParks();
+  std::atomic<bool> acquired{false};
+  std::thread standby([&] {
     lock.lock();
-    ++counter;
-    // Hold briefly so concurrent arrivals observe a busy lock and take the
-    // slow path, making a standby (and thus a handoff) near-certain.
-    volatile int sink = 0;
-    for (int k = 0; k < 30; ++k) {
-      sink = sink + k;
-    }
+    acquired.store(true, std::memory_order_release);
     lock.unlock();
   });
-  EXPECT_EQ(counter, 6u * 5000u);
-  EXPECT_GT(lock.direct_handoffs(), 0u);
+  // Once the standby has parked it has already flagged its impatience.
+  AwaitKernelParksAbove(parks_before);
+  lock.unlock();  // Must grant by direct handoff, not release-and-race.
+  standby.join();
+  EXPECT_TRUE(acquired.load());
+  EXPECT_EQ(lock.direct_handoffs(), 1u);
 }
 
 TEST(Loiter, OptimizationTogglesAreSafe) {
@@ -188,6 +217,164 @@ TEST(Loiter, OversubscribedProgress) {
     w.join();
   }
   EXPECT_EQ(counter, static_cast<std::uint64_t>(n) * 500u);
+}
+
+// ---------------------------------------------------------------------------
+// Wake-ahead (PrepareHandover) on the standby path.
+
+// Options that force every contended arrival down the slow path, with a
+// park slice long enough that a parked standby stays parked until the test
+// acts (so counter assertions are not raced by slice-expiry re-parks).
+LoiterOptions SlowPathOptions() {
+  LoiterOptions opts;
+  opts.fast_spin_attempts = 1;
+  opts.max_fast_spinners = 1;
+  opts.patience = std::chrono::seconds(10);
+  opts.standby_park_slice = std::chrono::seconds(10);
+  return opts;
+}
+
+TEST(LoiterHandover, ParkedStandbyIsWokenAheadAndGrantElidesSyscall) {
+  LoiterLock lock(SlowPathOptions());
+  lock.lock();  // Fast path: we are the owner; no standby exists yet.
+  std::atomic<bool> acquired{false};
+  const std::uint64_t parks_before = TotalKernelParks();
+  std::thread standby([&] {
+    lock.lock();  // Forced slow path: becomes the standby and parks.
+    acquired.store(true, std::memory_order_release);
+    lock.unlock();
+  });
+  AwaitKernelParksAbove(parks_before);
+
+  const std::uint64_t aheads_before = TotalWakeAheads();
+  const std::uint64_t wakes_before = TotalKernelWakes();
+  lock.PrepareHandover();
+  EXPECT_EQ(TotalWakeAheads() - aheads_before, 1u);
+  // The standby was blocked in the kernel, so the hint paid the futex wake
+  // — inside our critical section, where it overlaps remaining work.
+  EXPECT_EQ(TotalKernelWakes() - wakes_before, 1u);
+  lock.unlock();
+  standby.join();
+  EXPECT_TRUE(acquired.load());
+  // Zero-kernel-wake grant: neither the release path nor the deferred
+  // unpark may have issued a second futex wake — the heir was runnable (or
+  // held the collapsed permit) by then.
+  EXPECT_LE(TotalKernelWakes() - wakes_before, 1u);
+}
+
+TEST(LoiterHandover, NoWaitersIsANoOp) {
+  LoiterLock lock;
+  lock.lock();
+  const std::uint64_t aheads_before = TotalWakeAheads();
+  lock.PrepareHandover();
+  EXPECT_EQ(TotalWakeAheads(), aheads_before);
+  lock.unlock();
+}
+
+TEST(LoiterHandover, SlowOwnerPreWakesTheNextStandby) {
+  // Heir prediction across the composite structure: a slow-path owner (the
+  // retired standby, still holding the inner MCS lock) has no standby to
+  // hint — its heir is the inner lock's successor, which its unlock()
+  // promotes to standby. PrepareHandover must delegate to the inner MCS
+  // wake-ahead and pre-wake that successor.
+  LoiterLock lock(SlowPathOptions());
+  lock.lock();  // Main holds via the fast path.
+  std::atomic<bool> b_owns{false};
+  std::atomic<bool> release_b{false};
+  std::atomic<bool> c_acquired{false};
+  std::atomic<std::uint64_t> aheads_delta{0};
+
+  const std::uint64_t parks_before_b = TotalKernelParks();
+  std::thread b([&] {
+    lock.lock();  // Slow path: standby, then owner once main unlocks.
+    b_owns.store(true, std::memory_order_release);
+    while (!release_b.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+    const std::uint64_t aheads_before = TotalWakeAheads();
+    lock.PrepareHandover();  // Must reach C through the inner MCS chain.
+    aheads_delta.store(TotalWakeAheads() - aheads_before, std::memory_order_release);
+    lock.unlock();
+  });
+  AwaitKernelParksAbove(parks_before_b);  // B is the parked standby.
+
+  const std::uint64_t parks_before_c = TotalKernelParks();
+  std::thread c([&] {
+    lock.lock();  // Slow path: queues behind B on the inner MCS lock.
+    c_acquired.store(true, std::memory_order_release);
+    lock.unlock();
+  });
+  AwaitKernelParksAbove(parks_before_c);  // C parked on the inner chain.
+
+  lock.unlock();  // B acquires and reports ownership.
+  while (!b_owns.load(std::memory_order_acquire)) {
+    std::this_thread::yield();
+  }
+  release_b.store(true, std::memory_order_release);
+  b.join();
+  c.join();
+  EXPECT_TRUE(c_acquired.load());
+  EXPECT_GE(aheads_delta.load(), 1u);
+}
+
+TEST(LoiterHandover, StandbyNotStarvedUnderWakeAheadBarrage) {
+  // The anti-starvation invariant must survive hints in flight: greedy
+  // fast-path threads that wake-ahead on every release still may not
+  // starve the standby past its patience.
+  LoiterOptions opts;
+  opts.fast_spin_attempts = 1;
+  opts.max_fast_spinners = 0;  // Uncapped, but irrelevant with 1 attempt.
+  opts.patience = std::chrono::microseconds(100);
+  LoiterLock lock(opts);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> greedy;
+  for (int t = 0; t < 2; ++t) {
+    greedy.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        HandoverLockGuard<LoiterLock> guard(lock);
+      }
+    });
+  }
+  std::uint64_t slow_count = 0;
+  std::thread patient([&] {
+    for (int i = 0; i < 25; ++i) {
+      lock.lock();
+      ++slow_count;
+      lock.unlock();
+    }
+  });
+  patient.join();
+  stop.store(true);
+  for (auto& g : greedy) {
+    g.join();
+  }
+  EXPECT_EQ(slow_count, 25u);
+}
+
+TEST(LoiterHandover, GuardedCriticalSectionsStayExclusiveWithTogglesOff) {
+  // Wake-ahead composed with the optimization toggles disabled (no deferred
+  // unpark, no self-culling, uncapped spinners): exclusion and progress
+  // must be toggle-independent with hints firing before every unlock.
+  LoiterOptions opts;
+  opts.deferred_unpark = false;
+  opts.self_cull_cas_failures = 0;
+  opts.max_fast_spinners = 0;
+  LoiterLock lock(opts);
+  std::uint64_t counter = 0;
+  const int iters = test::ScaledIters(5000, 6);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 6; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < iters; ++i) {
+        HandoverLockGuard<LoiterLock> guard(lock);
+        ++counter;
+      }
+    });
+  }
+  for (auto& w : workers) {
+    w.join();
+  }
+  EXPECT_EQ(counter, 6u * static_cast<std::uint64_t>(iters));
 }
 
 }  // namespace

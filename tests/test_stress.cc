@@ -24,6 +24,7 @@ TEST(CondVarStress, ConcurrentSignalersAndBroadcasters) {
   CrCondVar cv(CrCondVarOptions{.append_probability = 0.5});
   std::atomic<bool> stop{false};
   std::atomic<std::uint64_t> wakeups{0};
+  std::atomic<int> waiters_exited{0};
   constexpr int kWaiters = 6;
 
   std::vector<std::thread> threads;
@@ -37,6 +38,7 @@ TEST(CondVarStress, ConcurrentSignalersAndBroadcasters) {
         }
         lock.unlock();
       }
+      waiters_exited.fetch_add(1, std::memory_order_release);
     });
   }
   // Two signalers and one broadcaster hammer the condvar concurrently.
@@ -56,13 +58,14 @@ TEST(CondVarStress, ConcurrentSignalersAndBroadcasters) {
 
   std::this_thread::sleep_for(std::chrono::milliseconds(300));
   stop.store(true, std::memory_order_release);
-  // Flush any still-parked waiters out.
-  for (int i = 0; i < 100; ++i) {
+  // Flush until every waiter has actually exited its loop, not for a fixed
+  // number of broadcasts: a waiter that passed its stop check can be
+  // descheduled *before* Enqueue for arbitrarily long on a busy 1-CPU host
+  // (its peers spin on the TTAS lock), then park after the last of a
+  // bounded broadcast volley — a permanent hang this test used to race.
+  while (waiters_exited.load(std::memory_order_acquire) < kWaiters) {
     cv.Broadcast();
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
-    if (cv.WaiterCount() == 0) {
-      break;
-    }
   }
   for (auto& t : threads) {
     t.join();

@@ -11,6 +11,7 @@
 #include "src/core/throttle.h"
 #include "src/locks/mcs.h"
 #include "src/locks/tas.h"
+#include "tests/contention.h"
 #include "src/metrics/admission_log.h"
 
 namespace malthus {
@@ -71,7 +72,12 @@ TEST(ThrottledLock, GateBoundsCirculatingSet) {
     w.join();
   }
   EXPECT_FALSE(violated.load());
-  EXPECT_GT(lock.throttled(), 0u);
+  if (!test::SingleCpuHost()) {
+    // Throttle engagement needs >3 threads *concurrently* at the gate; on
+    // one effective CPU arrivals are serialized within quanta and the gate
+    // may legitimately never fill. The bound check above still ran.
+    EXPECT_GT(lock.throttled(), 0u);
+  }
 }
 
 TEST(ThrottledLock, LwssClampedToK) {
