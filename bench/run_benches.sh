@@ -27,6 +27,7 @@ benches=(
   bench_handover_latency
   bench_fig02_tas_vs_mcs
   bench_abl_spin_budget
+  bench_timeout_overhead
 )
 
 tmpdir="$(mktemp -d)"
@@ -43,7 +44,7 @@ for b in "${benches[@]}"; do
 done
 
 python3 - "$out" "$tmpdir" "${benches[@]}" <<'EOF'
-import json, subprocess, sys
+import json, os, platform, re, subprocess, sys
 
 out, tmpdir, names = sys.argv[1], sys.argv[2], sys.argv[3:]
 
@@ -53,8 +54,48 @@ def git(*args):
     except Exception:
         return None
 
+def read(path):
+    try:
+        with open(path) as f:
+            return f.read().strip()
+    except Exception:
+        return None
+
+def machine_profile():
+    # Numbers within a snapshot are only comparable to numbers from the
+    # same machine shape; record enough topology to tell snapshots apart.
+    prof = {
+        "kernel": platform.release(),
+        "arch": platform.machine(),
+        "cpus_online": os.cpu_count(),
+        "cpus_allowed": len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") else None,
+    }
+    cpuinfo = read("/proc/cpuinfo") or ""
+    m = re.search(r"^model name\s*:\s*(.+)$", cpuinfo, re.M)
+    if m:
+        prof["cpu_model"] = m.group(1)
+    try:
+        nodes = [d for d in os.listdir("/sys/devices/system/node") if re.fullmatch(r"node\d+", d)]
+        prof["numa_nodes"] = len(nodes) or 1
+    except Exception:
+        prof["numa_nodes"] = None
+    meminfo = read("/proc/meminfo") or ""
+    m = re.search(r"^MemTotal:\s*(\d+) kB$", meminfo, re.M)
+    if m:
+        prof["mem_total_mb"] = int(m.group(1)) // 1024
+    for cache in ("index2", "index3"):
+        size = read(f"/sys/devices/system/cpu/cpu0/cache/{cache}/size")
+        level = read(f"/sys/devices/system/cpu/cpu0/cache/{cache}/level")
+        if size and level:
+            prof[f"l{level}_cache"] = size
+    gov = read("/sys/devices/system/cpu/cpu0/cpufreq/scaling_governor")
+    if gov:
+        prof["cpufreq_governor"] = gov
+    return prof
+
 snapshot = {
     "commit": git("rev-parse", "HEAD"),
+    "machine": machine_profile(),
     "benchmarks": {},
 }
 for name in names:

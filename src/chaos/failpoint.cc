@@ -1,0 +1,255 @@
+#include "src/chaos/failpoint.h"
+
+#include <sched.h>
+
+#include <cstdlib>
+#include <mutex>
+#include <unordered_map>
+
+#include "src/platform/cpu.h"
+
+namespace malthus {
+namespace failpoint {
+namespace {
+
+struct Site {
+  SiteConfig config;
+  std::atomic<std::uint64_t> hits{0};
+  std::atomic<std::uint64_t> fires{0};
+};
+
+// Registry of sites by name. Guarded by g_mu for structural changes; the
+// hot path never touches it unless at least one site is armed (the
+// g_armed_sites fast-path gate), so a mutex is fine.
+std::mutex g_mu;
+std::unordered_map<std::string, Site*>& Registry() {
+  static auto* r = new std::unordered_map<std::string, Site*>();
+  return *r;
+}
+
+std::atomic<std::uint64_t> g_seed{0x9e3779b97f4a7c15ull};
+std::atomic<std::uint64_t> g_seed_epoch{1};
+std::atomic<std::uint64_t> g_thread_ordinal{0};
+std::atomic<bool> g_env_loaded{false};
+
+// Per-thread xorshift64* stream, re-derived whenever SetSeed() bumps the
+// epoch: stream = f(global seed, thread ordinal). Deterministic given the
+// seed and each thread's arrival order at its first draw.
+struct ThreadRng {
+  std::uint64_t state = 0;
+  std::uint64_t epoch = 0;
+  std::uint64_t ordinal;
+  ThreadRng() : ordinal(g_thread_ordinal.fetch_add(1, std::memory_order_relaxed)) {}
+
+  double NextUnit() {
+    const std::uint64_t e = g_seed_epoch.load(std::memory_order_relaxed);
+    if (epoch != e) {
+      epoch = e;
+      state = g_seed.load(std::memory_order_relaxed) ^ (0x6a09e667f3bcc909ull * (ordinal + 1));
+      if (state == 0) state = 0x2545f4914f6cdd1dull;
+    }
+    state ^= state >> 12;
+    state ^= state << 25;
+    state ^= state >> 27;
+    const std::uint64_t r = state * 0x2545f4914f6cdd1dull;
+    return static_cast<double>(r >> 11) * (1.0 / 9007199254740992.0);  // 53-bit mantissa
+  }
+};
+
+[[maybe_unused]] ThreadRng& Rng() {
+  thread_local ThreadRng rng;
+  return rng;
+}
+
+Site* FindOrCreate(const std::string& name) {
+  std::lock_guard<std::mutex> g(g_mu);
+  auto it = Registry().find(name);
+  if (it != Registry().end()) {
+    return it->second;
+  }
+  Site* s = new Site();  // Sites live for the process; never freed.
+  Registry().emplace(name, s);
+  return s;
+}
+
+std::uint64_t CountArmed() {
+  std::uint64_t n = 0;
+  for (auto& [name, site] : Registry()) {
+    if (site->config.action != Action::kOff) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace
+
+#ifdef MALTHUS_FAILPOINTS
+namespace detail {
+std::atomic<std::uint64_t> g_armed_sites{0};
+}  // namespace detail
+
+namespace {
+void PublishArmedCount() {
+  detail::g_armed_sites.store(CountArmed(), std::memory_order_relaxed);
+}
+}  // namespace
+#else
+namespace {
+void PublishArmedCount() { (void)CountArmed(); }
+}  // namespace
+#endif
+
+void Configure(const std::string& site, const SiteConfig& config) {
+  Site* s = FindOrCreate(site);
+  {
+    std::lock_guard<std::mutex> g(g_mu);
+    s->config = config;
+    PublishArmedCount();
+  }
+}
+
+void Reset() {
+  std::lock_guard<std::mutex> g(g_mu);
+  for (auto& [name, site] : Registry()) {
+    site->config = SiteConfig{};
+    site->hits.store(0, std::memory_order_relaxed);
+    site->fires.store(0, std::memory_order_relaxed);
+  }
+  PublishArmedCount();
+}
+
+void SetSeed(std::uint64_t seed) {
+  g_seed.store(seed, std::memory_order_relaxed);
+  g_seed_epoch.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t Seed() { return g_seed.load(std::memory_order_relaxed); }
+
+std::uint64_t Fires(const std::string& site) {
+  std::lock_guard<std::mutex> g(g_mu);
+  auto it = Registry().find(site);
+  return it == Registry().end() ? 0 : it->second->fires.load(std::memory_order_relaxed);
+}
+
+std::uint64_t Hits(const std::string& site) {
+  std::lock_guard<std::mutex> g(g_mu);
+  auto it = Registry().find(site);
+  return it == Registry().end() ? 0 : it->second->hits.load(std::memory_order_relaxed);
+}
+
+std::vector<SiteInfo> Sites() {
+  std::lock_guard<std::mutex> g(g_mu);
+  std::vector<SiteInfo> out;
+  out.reserve(Registry().size());
+  for (auto& [name, site] : Registry()) {
+    out.push_back(SiteInfo{name, site->config, site->hits.load(std::memory_order_relaxed),
+                           site->fires.load(std::memory_order_relaxed)});
+  }
+  return out;
+}
+
+void ConfigureFromEnv() {
+  bool expected = false;
+  if (!g_env_loaded.compare_exchange_strong(expected, true, std::memory_order_relaxed)) {
+    return;
+  }
+  if (const char* seed = std::getenv("MALTHUS_CHAOS_SEED")) {
+    SetSeed(std::strtoull(seed, nullptr, 10));
+  }
+  const char* spec = std::getenv("MALTHUS_CHAOS");
+  if (spec == nullptr) {
+    return;
+  }
+  // Grammar: site=action[:prob[:delay_iters]] joined by ','.
+  std::string s(spec);
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    std::size_t comma = s.find(',', pos);
+    if (comma == std::string::npos) comma = s.size();
+    std::string entry = s.substr(pos, comma - pos);
+    pos = comma + 1;
+    const std::size_t eq = entry.find('=');
+    if (eq == std::string::npos) continue;
+    const std::string name = entry.substr(0, eq);
+    std::string rest = entry.substr(eq + 1);
+    SiteConfig cfg;
+    std::string action = rest;
+    const std::size_t c1 = rest.find(':');
+    if (c1 != std::string::npos) {
+      action = rest.substr(0, c1);
+      std::string tail = rest.substr(c1 + 1);
+      const std::size_t c2 = tail.find(':');
+      cfg.probability = std::strtod(tail.substr(0, c2).c_str(), nullptr);
+      if (c2 != std::string::npos) {
+        cfg.delay_iters =
+            static_cast<std::uint32_t>(std::strtoul(tail.substr(c2 + 1).c_str(), nullptr, 10));
+      }
+    }
+    if (action == "yield") {
+      cfg.action = Action::kYield;
+    } else if (action == "delay") {
+      cfg.action = Action::kDelay;
+    } else if (action == "trigger") {
+      cfg.action = Action::kTrigger;
+    } else {
+      continue;
+    }
+    Configure(name, cfg);
+  }
+}
+
+#ifdef MALTHUS_FAILPOINTS
+namespace detail {
+
+bool Evaluate(const char* site) {
+  ConfigureFromEnv();
+  // Per-thread site pointer cache keeps the armed path off the registry
+  // mutex after first hit.
+  thread_local std::unordered_map<const char*, Site*> cache;
+  Site*& s = cache[site];
+  if (s == nullptr) {
+    s = FindOrCreate(site);
+  }
+  // Snapshot the config outside the mutex: Configure() writes it racily
+  // with hits, but chaos configs are set before the threads under test
+  // start, and a torn mid-run read only mis-fires an injection — chaos.
+  const SiteConfig cfg = s->config;
+  if (cfg.action == Action::kOff) {
+    return false;
+  }
+  s->hits.fetch_add(1, std::memory_order_relaxed);
+  if (cfg.probability < 1.0 && Rng().NextUnit() >= cfg.probability) {
+    return false;
+  }
+  if (cfg.max_hits != 0) {
+    // fetch_add-and-check so concurrent hitters respect the cap exactly.
+    if (s->fires.fetch_add(1, std::memory_order_relaxed) >= cfg.max_hits) {
+      s->fires.fetch_sub(1, std::memory_order_relaxed);
+      return false;
+    }
+  } else {
+    s->fires.fetch_add(1, std::memory_order_relaxed);
+  }
+  switch (cfg.action) {
+    case Action::kYield:
+      sched_yield();
+      return false;
+    case Action::kDelay:
+      for (std::uint32_t i = 0; i < cfg.delay_iters; ++i) {
+        CpuRelax();
+      }
+      return false;
+    case Action::kTrigger:
+      return true;
+    case Action::kOff:
+      return false;
+  }
+  return false;
+}
+
+}  // namespace detail
+#endif  // MALTHUS_FAILPOINTS
+
+}  // namespace failpoint
+}  // namespace malthus

@@ -5,6 +5,7 @@ namespace malthus {
 void CrCondVar::Enqueue(Waiter* w) {
   const bool append = ThreadLocalRng().BernoulliP(opts_.append_probability);
   Guard();
+  w->queued = true;
   if (head_ == nullptr) {
     head_ = tail_ = w;
   } else if (append) {
@@ -30,10 +31,14 @@ void CrCondVar::Signal() {
     } else {
       tail_ = nullptr;
     }
+    w->queued = false;  // Commits the signal: a timed waiter may no longer cancel.
     count_.fetch_sub(1, std::memory_order_relaxed);
   }
   Unguard();
   if (w != nullptr) {
+    // Chaos: delay between the pop (signal committed) and the state store —
+    // the window a timed-out waiter must bridge by spinning.
+    MALTHUS_FAILPOINT("condvar.signal");
     Parker* parker = w->parker;  // Read before the release of w's frame.
     w->state.store(kSignaled, std::memory_order_release);
     parker->Unpark();
@@ -44,9 +49,18 @@ void CrCondVar::Broadcast() {
   Guard();
   Waiter* w = head_;
   head_ = tail_ = nullptr;
+  // Commit every detached waiter while still under the guard: a timed
+  // waiter whose deadline races the broadcast must observe !queued and spin
+  // for its kSignaled store instead of "cancelling" a wait that is no
+  // longer linked anywhere.
+  for (Waiter* p = w; p != nullptr; p = p->next) {
+    p->queued = false;
+  }
   count_.store(0, std::memory_order_relaxed);
   Unguard();
   while (w != nullptr) {
+    // Read next and parker before the state store: the store releases the
+    // waiter's frame.
     Waiter* next = w->next;
     Parker* parker = w->parker;
     w->state.store(kSignaled, std::memory_order_release);

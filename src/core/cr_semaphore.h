@@ -13,6 +13,7 @@
 #define MALTHUS_SRC_CORE_CR_SEMAPHORE_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 
 #include "src/platform/align.h"
@@ -42,6 +43,21 @@ class CrSemaphore {
   bool TryWait();
   void Post();
 
+  // Timed wait. The stack Waiter carries a guard-protected `queued` flag:
+  // Post() clears it under the guard when it pops a waiter, so a timed-out
+  // waiter re-taking the guard can distinguish "still enqueued" (unlink,
+  // return false) from "popped, permit store imminent" (wait for the grant
+  // word — the permit is committed to us and abandoning it would lose it).
+  bool TryWaitUntil(std::chrono::steady_clock::time_point deadline);
+  bool TryWaitFor(std::chrono::nanoseconds timeout) {
+    return TryWaitUntil(std::chrono::steady_clock::now() + timeout);
+  }
+  // ISSUE nomenclature aliases (throttle/gate call sites).
+  bool TryAcquireUntil(std::chrono::steady_clock::time_point deadline) {
+    return TryWaitUntil(deadline);
+  }
+  bool TryAcquireFor(std::chrono::nanoseconds timeout) { return TryWaitFor(timeout); }
+
   // Anticipatory handover (wake-ahead, §5.2): call shortly before a Post()
   // to start the head waiter's kernel wakeup early, so the eventual direct
   // permit handoff finds it runnable (or back to spinning) and needs no
@@ -51,6 +67,8 @@ class CrSemaphore {
 
   std::int64_t Count() const;
   std::size_t WaiterCount() const { return waiters_.load(std::memory_order_relaxed); }
+  // Timed waits that gave up at their deadline.
+  std::uint64_t Timeouts() const { return timeouts_.load(std::memory_order_relaxed); }
 
   void set_options(const CrSemaphoreOptions& opts) {
     opts_ = opts;
@@ -67,7 +85,27 @@ class CrSemaphore {
     Waiter* next = nullptr;
     Waiter* prev = nullptr;
     Parker* parker = nullptr;
+    // Guard-protected: true while linked in the wait list. Cleared by the
+    // popping Post(), so a timed-out waiter can tell whether a permit has
+    // already been committed to it.
+    bool queued = false;
   };
+
+  // Caller holds the guard; w must be linked.
+  void Unlink(Waiter* w) {
+    if (w->prev != nullptr) {
+      w->prev->next = w->next;
+    } else {
+      head_ = w->next;
+    }
+    if (w->next != nullptr) {
+      w->next->prev = w->prev;
+    } else {
+      tail_ = w->prev;
+    }
+    w->queued = false;
+    waiters_.fetch_sub(1, std::memory_order_relaxed);
+  }
 
   void Guard() const {
     while (guard_.exchange(1, std::memory_order_acquire) != 0) {
@@ -81,6 +119,7 @@ class CrSemaphore {
   Waiter* head_ = nullptr;
   Waiter* tail_ = nullptr;
   std::atomic<std::size_t> waiters_{0};
+  std::atomic<std::uint64_t> timeouts_{0};
   CrSemaphoreOptions opts_;
   AdaptiveSpinBudget spin_budget_;
 };

@@ -21,6 +21,7 @@
 #define MALTHUS_SRC_CORE_THROTTLE_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 
 #include "src/core/cr_semaphore.h"
@@ -60,6 +61,36 @@ class ThrottledLock {
   void unlock() {
     inner_.unlock();
     gate_.Post();
+  }
+
+  // Timed acquisition: the deadline bounds BOTH the gate wait and the inner
+  // lock wait (the gate's timed wait handles the committed-permit race; see
+  // CrSemaphore::TryWaitUntil). If the inner lock times out the gate permit
+  // is returned with Post(). An inner lock without native timed support is
+  // bounded only at the gate — once admitted, the acquire blocks; every
+  // lock in this repo except CLH/ticket has a native timed path.
+  bool TryLockUntil(std::chrono::steady_clock::time_point deadline) {
+    if (!gate_.TryWait()) {
+      throttled_.fetch_add(1, std::memory_order_relaxed);
+      if (!gate_.TryWaitUntil(deadline)) {
+        return false;
+      }
+    }
+    if constexpr (requires(Lock& l, std::chrono::steady_clock::time_point d) {
+                    { l.TryLockUntil(d) } -> std::convertible_to<bool>;
+                  }) {
+      if (inner_.TryLockUntil(deadline)) {
+        return true;
+      }
+      gate_.Post();
+      return false;
+    } else {
+      inner_.lock();
+      return true;
+    }
+  }
+  bool TryLockFor(std::chrono::nanoseconds timeout) {
+    return TryLockUntil(std::chrono::steady_clock::now() + timeout);
   }
 
   bool try_lock() {

@@ -14,6 +14,7 @@
 #include <cstdint>
 
 #include "src/platform/align.h"
+#include "src/platform/cpu.h"
 #include "src/platform/park.h"
 #include "src/platform/thread_registry.h"
 
@@ -21,8 +22,34 @@ namespace malthus {
 
 // Grant-flag values. kWaiting while enqueued; the granter stores kGranted
 // with release semantics after publishing any owner-handoff state.
+//
+// Timed acquisition adds three more states forming the cancellation
+// protocol (tombstones, not neighbor-stitching: a timed-out waiter cannot
+// safely touch its neighbors' links, but it *can* flip its own flag and
+// walk away, leaving the granting owner — who already owns the chain — to
+// skip and reclaim the husk):
+//
+//   kCancelled — waiter-side tombstone. The waiter CASes kWaiting ->
+//                kCancelled and abandons the node (ZombieQNode). A failed
+//                CAS means a granter won the race and the waiter owns the
+//                lock after all.
+//   kClaimed   — granter-side pin. Paths that must *link* a node before
+//                granting it (MCSCR fairness graft / deficit refill,
+//                MCSCRN rotation) first CAS kWaiting -> kClaimed; a
+//                claimed node can no longer cancel, so the subsequent
+//                splicing is race-free. The waiter's Await exits on any
+//                value != kWaiting, so waiters observing kClaimed spin on
+//                to kGranted (AwaitGrantCommit).
+//   kReclaimed — granter-side release of a cancelled husk, stored with
+//                release semantics *after* the granter's last read of the
+//                node. The owning thread's arena reaps zombies whose flag
+//                reads kReclaimed (acquire), which orders every granter
+//                access before reuse.
 inline constexpr std::uint32_t kWaiting = 0;
 inline constexpr std::uint32_t kGranted = 1;
+inline constexpr std::uint32_t kCancelled = 2;
+inline constexpr std::uint32_t kClaimed = 3;
+inline constexpr std::uint32_t kReclaimed = 4;
 
 struct alignas(kCacheLineSize) QNode {
   // MCS chain / LIFO stack successor link.
@@ -56,6 +83,26 @@ QNode* AcquireQNode();
 // Returns a node to the calling thread's pool. The node must be quiescent:
 // no other thread may still hold a reference that it will dereference.
 void ReleaseQNode(QNode* node);
+
+// Abandons a cancelled node that a granter may still reference. The node
+// parks on the calling thread's zombie list until its status reads
+// kReclaimed (stored by the granter after its last access), at which point
+// AcquireQNode() reaps it back into the free pool. Must be called by the
+// thread that acquired the node.
+void ZombieQNode(QNode* node);
+
+// Process-wide count of zombied nodes not yet reaped. Leak tests drain
+// activity and assert this returns to zero.
+std::uint64_t OutstandingZombieQNodes();
+
+// A waiter whose Await exited on kClaimed was picked by a linking granter
+// (graft/refill/rotation) that has not yet committed the grant; the commit
+// is a few stores away. Spin for it.
+inline void AwaitGrantCommit(const std::atomic<std::uint32_t>& status) {
+  while (status.load(std::memory_order_acquire) != kGranted) {
+    CpuRelax();
+  }
+}
 
 // Spins until `node->next` is non-null. Used on the unlock path when the
 // tail CAS fails: an arriving thread has swapped the tail but not yet linked

@@ -17,13 +17,29 @@ namespace {
 // sizeof(QNode) == one interference region, adjacent waiters' grant flags
 // never share a line, while a single thread's working set of nodes spans
 // the fewest possible pages.
+// Process-wide gauge of zombied (cancelled, not yet reclaimed-and-reaped)
+// nodes. Leak tests drain lock activity and assert it returns to zero.
+std::atomic<std::uint64_t> g_outstanding_zombies{0};
+
 struct NodeArena {
   static constexpr std::size_t kSlabNodes = 16;
 
   std::vector<QNode*> free_list;
+  // Cancelled nodes a granter may still touch; reaped (status ==
+  // kReclaimed, acquire) back into free_list on the next AcquireQNode.
+  std::vector<QNode*> zombies;
   std::vector<void*> slabs;
 
   ~NodeArena() {
+    Reap();
+    if (!zombies.empty()) {
+      // A granter somewhere may still write kReclaimed into one of these
+      // nodes; freeing the slabs would be use-after-free. Leak them — the
+      // leak is bounded by cancelled-but-unreclaimed nodes at thread exit
+      // and stays visible through OutstandingZombieQNodes(). (The gauge is
+      // deliberately NOT decremented: these nodes are gone for good.)
+      return;
+    }
     // Nodes are quiescent at thread exit (the thread cannot be waiting on a
     // lock while running its TLS destructors) and QNode is trivially
     // destructible, so the raw slabs can simply be returned.
@@ -41,6 +57,22 @@ struct NodeArena {
       free_list.push_back(new (&nodes[i]) QNode());
     }
   }
+
+  // Moves reclaimed zombies back to the free list. The acquire load pairs
+  // with the granter's release store of kReclaimed, ordering the granter's
+  // last accesses to the node before its reuse.
+  void Reap() {
+    std::size_t kept = 0;
+    for (QNode* z : zombies) {
+      if (z->status.load(std::memory_order_acquire) == kReclaimed) {
+        free_list.push_back(z);
+        g_outstanding_zombies.fetch_sub(1, std::memory_order_relaxed);
+      } else {
+        zombies[kept++] = z;
+      }
+    }
+    zombies.resize(kept);
+  }
 };
 
 NodeArena& Arena() {
@@ -52,6 +84,9 @@ NodeArena& Arena() {
 
 QNode* AcquireQNode() {
   NodeArena& arena = Arena();
+  if (!arena.zombies.empty()) {
+    arena.Reap();
+  }
   if (arena.free_list.empty()) {
     arena.Refill();
   }
@@ -61,6 +96,15 @@ QNode* AcquireQNode() {
 }
 
 void ReleaseQNode(QNode* node) { Arena().free_list.push_back(node); }
+
+void ZombieQNode(QNode* node) {
+  g_outstanding_zombies.fetch_add(1, std::memory_order_relaxed);
+  Arena().zombies.push_back(node);
+}
+
+std::uint64_t OutstandingZombieQNodes() {
+  return g_outstanding_zombies.load(std::memory_order_relaxed);
+}
 
 // Instantiation anchors so template code is compiled (and its warnings
 // surfaced) as part of the library build.

@@ -27,6 +27,7 @@
 #define MALTHUS_SRC_LOCKS_PTHREAD_STYLE_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 
 #include "src/metrics/admission_log.h"
@@ -46,6 +47,18 @@ class PthreadStyleMutex {
   void lock();
   bool try_lock();
   void unlock();
+
+  // Timed acquisition. A timed-out stack waiter reuses the existing
+  // kAbandoned tombstone protocol (self-acquirers already needed it):
+  // the kOnStack -> kAbandoned CAS transfers node ownership to whichever
+  // popper later removes it. If a popper won the race (kPopped — we were
+  // chosen heir), the waiter absorbs the imminent permit, makes one last
+  // acquire attempt, and on failure re-dispatches the succession baton via
+  // WakeOneWaiter() so a free lock never strands the remaining sleepers.
+  bool TryLockUntil(std::chrono::steady_clock::time_point deadline);
+  bool TryLockFor(std::chrono::nanoseconds timeout) {
+    return TryLockUntil(std::chrono::steady_clock::now() + timeout);
+  }
 
   // Anticipatory handover (wake-ahead, §5.2): called by the owner near the
   // end of its critical section, before unlock(). Predicts the waiter the
@@ -70,6 +83,8 @@ class PthreadStyleMutex {
   std::uint64_t avoided_unparks() const {
     return avoided_unparks_.load(std::memory_order_relaxed);
   }
+  // Timed acquisitions that gave up at their deadline.
+  std::uint64_t timeouts() const { return timeouts_.load(std::memory_order_relaxed); }
 
  private:
   enum WaitState : std::uint32_t { kOnStack = 0, kPopped = 1, kAbandoned = 2 };
@@ -94,6 +109,7 @@ class PthreadStyleMutex {
   std::atomic<std::uint32_t> pop_lock_{0};
   std::atomic<std::uint32_t> spinners_{0};
   std::atomic<std::uint64_t> avoided_unparks_{0};
+  std::atomic<std::uint64_t> timeouts_{0};
   AdmissionLog* recorder_ = nullptr;
   std::uint32_t spin_budget_ = 512;
   std::uint32_t max_spinners_ = 8;

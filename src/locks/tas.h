@@ -9,6 +9,7 @@
 #define MALTHUS_SRC_LOCKS_TAS_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 
 #include "src/metrics/admission_log.h"
@@ -58,6 +59,30 @@ class TtasLock {
   bool try_lock() {
     return word_.load(std::memory_order_relaxed) == 0 &&
            word_.exchange(1, std::memory_order_acquire) == 0;
+  }
+
+  // Timed acquisition: the same backoff-paced global spin, bounded by the
+  // deadline. There is no waiter list, so cancellation is trivially just
+  // ceasing to spin — no tombstones, no succession duty. The clock is
+  // probed once per backoff round (the pauses are the dominant cost).
+  bool TryLockUntil(std::chrono::steady_clock::time_point deadline) {
+    ExponentialBackoff backoff(backoff_floor_, backoff_ceiling_);
+    XorShift64& rng = ThreadLocalRng();
+    while (true) {
+      if (try_lock()) {
+        if (recorder_ != nullptr) {
+          recorder_->Record(Self().id);
+        }
+        return true;
+      }
+      if (std::chrono::steady_clock::now() >= deadline) {
+        return false;
+      }
+      backoff.Pause(rng);
+    }
+  }
+  bool TryLockFor(std::chrono::nanoseconds timeout) {
+    return TryLockUntil(std::chrono::steady_clock::now() + timeout);
   }
 
   void unlock() { word_.store(0, std::memory_order_release); }

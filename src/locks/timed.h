@@ -1,0 +1,78 @@
+// Deadline-bounded acquisition helpers shared by the timed-lock surface.
+//
+// Every queue lock in this library implements a *native* cancellable
+// TryLockUntil (safe mid-chain self-removal — see the cancellation protocol
+// in locks/lock_base.h). For locks without one, PollTryLockUntil provides
+// the conservative fallback: spin-poll try_lock() with randomized truncated
+// exponential backoff until the deadline. It holds no queue position, so
+// cancellation is trivially just ceasing to poll — at the cost of
+// competitive (barging) admission and a possible near-deadline miss of a
+// momentarily free lock. TryLockUntilOrPoll dispatches between the two at
+// compile time; AnyLock's virtual default routes through the poll.
+#ifndef MALTHUS_SRC_LOCKS_TIMED_H_
+#define MALTHUS_SRC_LOCKS_TIMED_H_
+
+#include <chrono>
+
+#include "src/rng/xorshift.h"
+#include "src/waiting/backoff.h"
+
+namespace malthus {
+
+// True when L exposes a native deadline-bounded acquire.
+template <typename L>
+concept HasNativeTimedLock = requires(L& l, std::chrono::steady_clock::time_point d) {
+  { l.TryLockUntil(d) } -> std::convertible_to<bool>;
+};
+
+template <typename L>
+concept HasTryLock = requires(L& l) {
+  { l.try_lock() } -> std::convertible_to<bool>;
+};
+
+// Conservative fallback: poll try_lock() under backoff until the deadline.
+template <typename Lock>
+inline bool PollTryLockUntil(Lock& lock, std::chrono::steady_clock::time_point deadline) {
+  if (lock.try_lock()) {
+    return true;
+  }
+  ExponentialBackoff backoff(16, 4096);
+  XorShift64& rng = ThreadLocalRng();
+  while (std::chrono::steady_clock::now() < deadline) {
+    backoff.Pause(rng);
+    if (lock.try_lock()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+template <typename Lock>
+inline bool PollTryLockFor(Lock& lock, std::chrono::nanoseconds timeout) {
+  return PollTryLockUntil(lock, std::chrono::steady_clock::now() + timeout);
+}
+
+// Generic dispatch: native timed acquire when the lock has one, spin-poll
+// otherwise. Locks with neither (CLH — no safe mid-queue abandonment
+// without the full cancellation protocol; NullLock) degrade to a blocking
+// lock() that always reports success.
+template <typename Lock>
+inline bool TryLockUntilOrPoll(Lock& lock, std::chrono::steady_clock::time_point deadline) {
+  if constexpr (HasNativeTimedLock<Lock>) {
+    return lock.TryLockUntil(deadline);
+  } else if constexpr (HasTryLock<Lock>) {
+    return PollTryLockUntil(lock, deadline);
+  } else {
+    lock.lock();
+    return true;
+  }
+}
+
+template <typename Lock>
+inline bool TryLockForOrPoll(Lock& lock, std::chrono::nanoseconds timeout) {
+  return TryLockUntilOrPoll(lock, std::chrono::steady_clock::now() + timeout);
+}
+
+}  // namespace malthus
+
+#endif  // MALTHUS_SRC_LOCKS_TIMED_H_

@@ -7,6 +7,8 @@
 #include <cerrno>
 #include <ctime>
 
+#include "src/chaos/failpoint.h"
+
 namespace malthus {
 namespace {
 
@@ -91,7 +93,13 @@ void Parker::Park() {
     return;
   }
   while (true) {
-    FutexWait(&state_, kParked, nullptr);
+    // Chaos: "park.spurious" models a futex wait returning without a permit
+    // (EINTR, stale wake from a previous cycle) by eliding the syscall; the
+    // kParked advertisement stands and the permit re-check below runs
+    // exactly as it would after a real spurious return.
+    if (!MALTHUS_FAILPOINT_TRIGGERED("park.spurious")) {
+      FutexWait(&state_, kParked, nullptr);
+    }
     if (TryConsumePermit()) {
       return;
     }
@@ -127,7 +135,12 @@ bool Parker::ParkFor(std::chrono::nanoseconds timeout) {
     struct timespec ts;
     ts.tv_sec = std::chrono::duration_cast<std::chrono::seconds>(remaining).count();
     ts.tv_nsec = (remaining - std::chrono::seconds(ts.tv_sec)).count();
-    FutexWait(&state_, kParked, &ts);
+    // Chaos: same spurious-return injection as Park(). With the site armed
+    // at probability 1 this turns ParkFor into a tight retract/consume race
+    // against concurrent Unpark() — the PR 1 regression driver.
+    if (!MALTHUS_FAILPOINT_TRIGGERED("park.spurious")) {
+      FutexWait(&state_, kParked, &ts);
+    }
     if (TryConsumePermit()) {
       return true;
     }
@@ -158,11 +171,26 @@ bool Parker::Post() {
   return false;
 }
 
-void Parker::Unpark() { Post(); }
+void Parker::Unpark() {
+  // Chaos: widen the window between the granter's decision to wake and the
+  // permit post (the interval where the waiter may park, time out, or
+  // cancel underneath the wake).
+  MALTHUS_FAILPOINT("park.unpark.delay");
+  Post();
+}
 
 bool Parker::WakeAhead() {
   wake_aheads_.fetch_add(1, std::memory_order_relaxed);
   g_total_wake_aheads.fetch_add(1, std::memory_order_relaxed);
+  // Chaos: "park.wakeahead.elide" models a lost anticipatory hint — the
+  // call is counted but no permit is posted, so the eventual grant must
+  // carry the wake on its own (the parking litmus test: correctness may
+  // never depend on the hint). "park.wakeahead.delay" defers the hint into
+  // the release window instead.
+  if (MALTHUS_FAILPOINT_TRIGGERED("park.wakeahead.elide")) {
+    return false;
+  }
+  MALTHUS_FAILPOINT("park.wakeahead.delay");
   return Post();
 }
 

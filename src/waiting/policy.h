@@ -95,6 +95,57 @@ inline bool PostWakeRespin(std::uint32_t iters, Granted&& granted) {
   return granted();
 }
 
+namespace detail {
+
+// Process-wide gauge of threads currently inside a YieldingSpinPolicy wait.
+// The escalation predicate compares it against the cgroup-aware effective
+// CPU count: it deliberately ignores non-spinning runnable threads (owners,
+// STP waiters still in their spin phase), so it under-counts pressure — the
+// cheap, safe direction, since a missed escalation only costs what pure
+// spinning already cost.
+inline std::atomic<std::uint32_t> g_active_spinners{0};
+
+// Times a spinner gave up pure spinning for the yield loop (process-wide,
+// for tests and instrumentation).
+inline std::atomic<std::uint64_t> g_spin_yield_escalations{0};
+
+// Iterations of spinning between steady_clock reads in the deadline-aware
+// spin loops. A clock read is tens of ns; amortizing it over a slice keeps
+// timed spinning within noise of untimed spinning (bench_timeout_overhead
+// checks this stays ~0).
+inline constexpr std::uint32_t kDeadlineProbeSlice = 256;
+
+// Deadline-checked local spin shared by the non-parking policies' AwaitUntil:
+// spins until *flag != expected (true) or `deadline` passes (false),
+// reading the clock once per slice. When `yield_when_oversubscribed`, cedes
+// the CPU at each slice boundary while the spinner population exceeds the
+// effective CPU count (the YieldingSpinPolicy discipline; timed waits are
+// rare enough that the simpler per-slice yield replaces the full
+// grace-burst state machine).
+template <typename T>
+inline bool SpinUntil(const std::atomic<T>& flag, T expected_while_waiting,
+                      std::chrono::steady_clock::time_point deadline,
+                      bool yield_when_oversubscribed) {
+  while (true) {
+    for (std::uint32_t i = 0; i < kDeadlineProbeSlice; ++i) {
+      if (flag.load(std::memory_order_acquire) != expected_while_waiting) {
+        return true;
+      }
+      CpuRelax();
+    }
+    if (std::chrono::steady_clock::now() >= deadline) {
+      return flag.load(std::memory_order_acquire) != expected_while_waiting;
+    }
+    if (yield_when_oversubscribed &&
+        g_active_spinners.load(std::memory_order_relaxed) >=
+            static_cast<std::uint32_t>(EffectiveCpuCount())) {
+      sched_yield();
+    }
+  }
+}
+
+}  // namespace detail
+
 struct SpinPolicy {
   static constexpr bool kParks = false;
 
@@ -112,24 +163,26 @@ struct SpinPolicy {
     Await(flag, expected_while_waiting, parker);
   }
 
+  // Deadline-bounded wait: true iff *flag != expected was observed. On
+  // false the caller runs its cancellation protocol (whose CAS, not this
+  // return value, decides whether the grant won the race).
+  template <typename T>
+  static bool AwaitUntil(const std::atomic<T>& flag, T expected_while_waiting, Parker& /*parker*/,
+                         std::chrono::steady_clock::time_point deadline,
+                         std::uint32_t /*spin_budget*/ = kDefaultSpinBudget) {
+    return detail::SpinUntil(flag, expected_while_waiting, deadline,
+                             /*yield_when_oversubscribed=*/false);
+  }
+
+  template <typename T>
+  static bool AwaitUntil(const std::atomic<T>& flag, T expected_while_waiting, Parker& parker,
+                         std::chrono::steady_clock::time_point deadline,
+                         AdaptiveSpinBudget& /*budget*/) {
+    return AwaitUntil(flag, expected_while_waiting, parker, deadline);
+  }
+
   static void Wake(Parker& /*parker*/) {}
 };
-
-namespace detail {
-
-// Process-wide gauge of threads currently inside a YieldingSpinPolicy wait.
-// The escalation predicate compares it against the cgroup-aware effective
-// CPU count: it deliberately ignores non-spinning runnable threads (owners,
-// STP waiters still in their spin phase), so it under-counts pressure — the
-// cheap, safe direction, since a missed escalation only costs what pure
-// spinning already cost.
-inline std::atomic<std::uint32_t> g_active_spinners{0};
-
-// Times a spinner gave up pure spinning for the yield loop (process-wide,
-// for tests and instrumentation).
-inline std::atomic<std::uint64_t> g_spin_yield_escalations{0};
-
-}  // namespace detail
 
 // Number of threads currently spinning under YieldingSpinPolicy.
 inline std::uint32_t ActiveSpinners() {
@@ -182,6 +235,27 @@ struct YieldingSpinPolicy {
   static void Await(const std::atomic<T>& flag, T expected_while_waiting, Parker& parker,
                     AdaptiveSpinBudget& budget) {
     AwaitImpl(flag, expected_while_waiting, parker, budget.Get(), &budget);
+  }
+
+  // Deadline-bounded wait. Participates in the spinner gauge (so untimed
+  // YieldingSpin waiters see timed ones as pressure) and cedes the CPU per
+  // slice while oversubscribed.
+  template <typename T>
+  static bool AwaitUntil(const std::atomic<T>& flag, T expected_while_waiting, Parker& /*parker*/,
+                         std::chrono::steady_clock::time_point deadline,
+                         std::uint32_t /*spin_budget*/ = kDefaultSpinBudget) {
+    detail::g_active_spinners.fetch_add(1, std::memory_order_relaxed);
+    const bool observed = detail::SpinUntil(flag, expected_while_waiting, deadline,
+                                            /*yield_when_oversubscribed=*/true);
+    detail::g_active_spinners.fetch_sub(1, std::memory_order_relaxed);
+    return observed;
+  }
+
+  template <typename T>
+  static bool AwaitUntil(const std::atomic<T>& flag, T expected_while_waiting, Parker& parker,
+                         std::chrono::steady_clock::time_point deadline,
+                         AdaptiveSpinBudget& /*budget*/) {
+    return AwaitUntil(flag, expected_while_waiting, parker, deadline);
   }
 
   static void Wake(Parker& /*parker*/) {}
@@ -267,6 +341,46 @@ struct SpinThenParkPolicy {
     AwaitImpl(flag, expected_while_waiting, parker, budget.Get(), &budget);
   }
 
+  // Deadline-bounded spin-then-park: bounded spin, then ParkFor(remaining)
+  // rounds with the shared post-wake re-spin after each permit. Returns
+  // true iff *flag != expected was observed; false once the deadline
+  // passes. A permit consumed by a ParkFor that then times out on the flag
+  // is not "lost": permits here always precede a flag transition (grant or
+  // wake-ahead hint), and the caller's cancellation CAS arbitrates.
+  template <typename T>
+  static bool AwaitUntil(const std::atomic<T>& flag, T expected_while_waiting, Parker& parker,
+                         std::chrono::steady_clock::time_point deadline,
+                         std::uint32_t spin_budget = kDefaultSpinBudget) {
+    for (std::uint32_t i = 0; i < spin_budget; ++i) {
+      if (flag.load(std::memory_order_acquire) != expected_while_waiting) {
+        return true;
+      }
+      CpuRelax();
+    }
+    const std::uint32_t respin = std::max(spin_budget, kMinPostWakeSpin);
+    while (flag.load(std::memory_order_acquire) == expected_while_waiting) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= deadline) {
+        return flag.load(std::memory_order_acquire) != expected_while_waiting;
+      }
+      if (parker.ParkFor(deadline - now)) {
+        // Permit consumed — a grant is landing or a wake-ahead hint fired;
+        // re-spin for the flag before deciding to re-park.
+        PostWakeRespin(respin, [&] {
+          return flag.load(std::memory_order_acquire) != expected_while_waiting;
+        });
+      }
+    }
+    return true;
+  }
+
+  template <typename T>
+  static bool AwaitUntil(const std::atomic<T>& flag, T expected_while_waiting, Parker& parker,
+                         std::chrono::steady_clock::time_point deadline,
+                         AdaptiveSpinBudget& budget) {
+    return AwaitUntil(flag, expected_while_waiting, parker, deadline, budget.Get());
+  }
+
   static void Wake(Parker& parker) { parker.Unpark(); }
 
  private:
@@ -325,6 +439,22 @@ struct ParkPolicy {
   static void Await(const std::atomic<T>& flag, T expected_while_waiting, Parker& parker,
                     AdaptiveSpinBudget& /*budget*/) {
     Await(flag, expected_while_waiting, parker);
+  }
+
+  // Deadline-bounded prompt parking (STP with zero spin budget).
+  template <typename T>
+  static bool AwaitUntil(const std::atomic<T>& flag, T expected_while_waiting, Parker& parker,
+                         std::chrono::steady_clock::time_point deadline,
+                         std::uint32_t /*spin_budget*/ = 0) {
+    return SpinThenParkPolicy::AwaitUntil(flag, expected_while_waiting, parker, deadline,
+                                          /*spin_budget=*/0u);
+  }
+
+  template <typename T>
+  static bool AwaitUntil(const std::atomic<T>& flag, T expected_while_waiting, Parker& parker,
+                         std::chrono::steady_clock::time_point deadline,
+                         AdaptiveSpinBudget& /*budget*/) {
+    return AwaitUntil(flag, expected_while_waiting, parker, deadline);
   }
 
   static void Wake(Parker& parker) { parker.Unpark(); }

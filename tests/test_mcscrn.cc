@@ -10,6 +10,7 @@
 #include "src/core/mcscrn.h"
 #include "src/core/topology.h"
 #include "src/metrics/admission_log.h"
+#include "tests/contention.h"
 
 namespace malthus {
 namespace {
@@ -101,6 +102,13 @@ TEST_F(McscrnTest, HomeRotationConfersCrossNodeFairness) {
 }
 
 TEST_F(McscrnTest, MigrationRateLowerThanNodeObliviousRoundRobin) {
+  if (test::SingleCpuHost()) {
+    // Low migration rate needs the cull scan to engage, which needs waiters
+    // to stack up in the chain — on a serialized scheduler the chain stays
+    // ~1 deep and grants alternate nodes (concurrency-emergent, see
+    // tests/contention.h).
+    GTEST_SKIP() << "migration restriction is concurrency-emergent";
+  }
   // With 2 simulated nodes and node-homogeneous admission, grants crossing
   // node boundaries should be rare relative to total grants. A node-
   // oblivious FIFO over alternating nodes would migrate ~every grant.

@@ -1,0 +1,96 @@
+// Stall watchdog for contention/chaos tests.
+//
+// A lost wakeup or a stranded grant manifests as a hang, and a hang under
+// ctest is a 900-second timeout with zero diagnostics. The watchdog turns
+// it into a prompt failure with state attached: worker threads call Beat()
+// as they make progress; a monitor thread polls ~4x/second, and if no beat
+// lands within `stall_after` it prints the test's dump callback (per-lock
+// queue/passive-list state, Parker counters, armed FailPoint sites) to
+// stderr and aborts — gtest/ctest then report the failure with the dump in
+// the log.
+//
+// The monitor only reads an atomic beat counter, so Beat() costs one
+// relaxed fetch_add and can sit inside the hottest loop.
+#ifndef MALTHUS_TESTS_WATCHDOG_H_
+#define MALTHUS_TESTS_WATCHDOG_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+namespace malthus {
+namespace test {
+
+class StallWatchdog {
+ public:
+  StallWatchdog(std::chrono::milliseconds stall_after, std::function<void()> dump)
+      : stall_after_(stall_after), dump_(std::move(dump)), monitor_([this] { Run(); }) {}
+  StallWatchdog(const StallWatchdog&) = delete;
+  StallWatchdog& operator=(const StallWatchdog&) = delete;
+
+  ~StallWatchdog() {
+    {
+      std::lock_guard<std::mutex> g(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    monitor_.join();
+  }
+
+  // Progress heartbeat; call from worker loops.
+  void Beat() { beats_.fetch_add(1, std::memory_order_relaxed); }
+
+ private:
+  void Run() {
+    std::unique_lock<std::mutex> g(mu_);
+    std::uint64_t last = beats_.load(std::memory_order_relaxed);
+    auto last_progress = std::chrono::steady_clock::now();
+    while (!stop_) {
+      cv_.wait_for(g, std::chrono::milliseconds(250));
+      if (stop_) {
+        return;
+      }
+      const std::uint64_t cur = beats_.load(std::memory_order_relaxed);
+      const auto now = std::chrono::steady_clock::now();
+      if (cur != last) {
+        last = cur;
+        last_progress = now;
+        continue;
+      }
+      if (now - last_progress >= stall_after_) {
+        std::fprintf(stderr,
+                     "[StallWatchdog] no progress beat for %lld ms (beats=%llu) — "
+                     "dumping state and aborting\n",
+                     static_cast<long long>(std::chrono::duration_cast<std::chrono::milliseconds>(
+                                                now - last_progress)
+                                                .count()),
+                     static_cast<unsigned long long>(cur));
+        if (dump_) {
+          dump_();
+        }
+        std::fflush(stderr);
+        std::abort();
+      }
+    }
+  }
+
+  const std::chrono::milliseconds stall_after_;
+  std::function<void()> dump_;
+  std::atomic<std::uint64_t> beats_{0};
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread monitor_;
+};
+
+}  // namespace test
+}  // namespace malthus
+
+#endif  // MALTHUS_TESTS_WATCHDOG_H_
