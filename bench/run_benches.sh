@@ -28,6 +28,7 @@ benches=(
   bench_fig02_tas_vs_mcs
   bench_abl_spin_budget
   bench_timeout_overhead
+  bench_server_sweep
 )
 
 tmpdir="$(mktemp -d)"
@@ -61,14 +62,43 @@ def read(path):
     except Exception:
         return None
 
+def effective_cpus(allowed):
+    # Affinity mask ∩ cgroup CPU quota — what EffectiveCpuCount() in
+    # src/platform/sysinfo.h computes. cpus_allowed alone overstates the
+    # budget inside quota-limited containers (e.g. cpu.max "50000 100000"
+    # on an 8-wide mask is half a CPU, not 8).
+    quota_cpus = None
+    v2 = read("/sys/fs/cgroup/cpu.max")
+    if v2:
+        parts = v2.split()
+        if len(parts) == 2 and parts[0] != "max":
+            try:
+                quota_cpus = max(1, -(-int(parts[0]) // int(parts[1])))
+            except ValueError:
+                pass
+    else:
+        q = read("/sys/fs/cgroup/cpu/cpu.cfs_quota_us")
+        p = read("/sys/fs/cgroup/cpu/cpu.cfs_period_us")
+        if q and p:
+            try:
+                if int(q) > 0:
+                    quota_cpus = max(1, -(-int(q) // int(p)))
+            except ValueError:
+                pass
+    if allowed is None:
+        return quota_cpus
+    return min(allowed, quota_cpus) if quota_cpus else allowed
+
 def machine_profile():
     # Numbers within a snapshot are only comparable to numbers from the
     # same machine shape; record enough topology to tell snapshots apart.
+    allowed = len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") else None
     prof = {
         "kernel": platform.release(),
         "arch": platform.machine(),
         "cpus_online": os.cpu_count(),
-        "cpus_allowed": len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") else None,
+        "cpus_allowed": allowed,
+        "cpus_effective": effective_cpus(allowed),
     }
     cpuinfo = read("/proc/cpuinfo") or ""
     m = re.search(r"^model name\s*:\s*(.+)$", cpuinfo, re.M)

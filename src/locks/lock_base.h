@@ -95,6 +95,14 @@ void ZombieQNode(QNode* node);
 // activity and assert this returns to zero.
 std::uint64_t OutstandingZombieQNodes();
 
+// Reaps the calling thread's reclaimed zombies back into its pool without
+// waiting for the next AcquireQNode(), and returns how many of this
+// thread's zombies remain pinned by a granter. Threads that churn through
+// timed acquisitions and then *exit* (short-lived pool workers) call this
+// in a bounded retry loop before retiring: once it returns 0 the thread's
+// arena can be torn down without leaking husks (see NodeArena::~NodeArena).
+std::size_t ReapZombieQNodes();
+
 // A waiter whose Await exited on kClaimed was picked by a linking granter
 // (graft/refill/rotation) that has not yet committed the grant; the commit
 // is a few stores away. Spin for it.

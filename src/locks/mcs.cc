@@ -106,6 +106,12 @@ std::uint64_t OutstandingZombieQNodes() {
   return g_outstanding_zombies.load(std::memory_order_relaxed);
 }
 
+std::size_t ReapZombieQNodes() {
+  NodeArena& arena = Arena();
+  arena.Reap();
+  return arena.zombies.size();
+}
+
 // Instantiation anchors so template code is compiled (and its warnings
 // surfaced) as part of the library build.
 template class McsLock<SpinPolicy>;

@@ -1,0 +1,93 @@
+#include "src/metrics/histogram.h"
+
+#include <bit>
+#include <cmath>
+
+namespace malthus {
+
+std::size_t LatencyHistogram::BucketIndex(std::uint64_t value) {
+  if (value < kSubBucketCount) {
+    return static_cast<std::size_t>(value);
+  }
+  const int msb = 63 - std::countl_zero(value);
+  const int shift = msb - kSubBucketBits;
+  const std::size_t octave = static_cast<std::size_t>(msb - kSubBucketBits + 1);
+  return octave * kSubBucketCount +
+         static_cast<std::size_t>((value >> shift) & (kSubBucketCount - 1));
+}
+
+std::uint64_t LatencyHistogram::BucketLowerBound(std::size_t index) {
+  const std::size_t octave = index >> kSubBucketBits;
+  const std::uint64_t offset = index & (kSubBucketCount - 1);
+  if (octave == 0) {
+    return offset;
+  }
+  return (kSubBucketCount + offset) << (octave - 1);
+}
+
+std::uint64_t LatencyHistogram::BucketUpperBound(std::size_t index) {
+  if (index >= kBucketCount - 1) {
+    return UINT64_MAX;
+  }
+  return BucketLowerBound(index + 1) - 1;
+}
+
+std::uint64_t LatencyHistogram::Percentile(double p) const {
+  const std::uint64_t total = Count();
+  if (total == 0) {
+    return 0;
+  }
+  if (p < 0.0) {
+    p = 0.0;
+  }
+  if (p > 100.0) {
+    p = 100.0;
+  }
+  // Rank of the requested percentile, 1-based; p=0 maps to the first value.
+  std::uint64_t target = static_cast<std::uint64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(total)));
+  if (target == 0) {
+    target = 1;
+  }
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    cumulative += counts_[i].load(std::memory_order_relaxed);
+    if (cumulative >= target) {
+      // Clamp to the observed max so sparse top buckets do not overstate.
+      const std::uint64_t upper = BucketUpperBound(i);
+      const std::uint64_t max = Max();
+      return upper < max ? upper : max;
+    }
+  }
+  return Max();
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    const std::uint64_t c = other.counts_[i].load(std::memory_order_relaxed);
+    if (c != 0) {
+      counts_[i].fetch_add(c, std::memory_order_relaxed);
+    }
+  }
+  total_.fetch_add(other.total_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  sum_.fetch_add(other.sum_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+  const std::uint64_t omin = other.min_.load(std::memory_order_relaxed);
+  if (omin != UINT64_MAX) {
+    UpdateMin(omin);
+  }
+  UpdateMax(other.max_.load(std::memory_order_relaxed));
+}
+
+void LatencyHistogram::Reset() {
+  for (auto& c : counts_) {
+    c.store(0, std::memory_order_relaxed);
+  }
+  total_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(UINT64_MAX, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace malthus

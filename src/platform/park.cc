@@ -171,6 +171,12 @@ bool Parker::Post() {
   return false;
 }
 
+bool Parker::DrainPermit() {
+  // Owner-side: state is kNeutral or kPermit here (never kParked — the
+  // owner is running this code, not blocked). One strong CAS suffices.
+  return TryConsumePermit();
+}
+
 void Parker::Unpark() {
   // Chaos: widen the window between the granter's decision to wake and the
   // permit post (the interval where the waiter may park, time out, or

@@ -74,6 +74,12 @@ class alignas(kCacheLineSize) Parker {
   // nature; intended for stats and tests.
   bool PermitPending() const { return state_.load(std::memory_order_acquire) == kPermit; }
 
+  // Consumes a pending permit without blocking; returns true if one was
+  // taken. Owner-side only (like Park). Teardown hygiene: a worker leaving
+  // a pool drains its stale wake-ahead/semaphore permits so the parker
+  // returns to neutral before the thread retires.
+  bool DrainPermit();
+
   // Counters for instrumentation, all maintained with relaxed atomics:
   //   kernel_waits     — Park()/ParkFor() calls that blocked in the kernel.
   //   fast_path_parks  — Park()/ParkFor() calls satisfied by a pending permit.

@@ -1,0 +1,95 @@
+#include "src/server/admission_queue.h"
+
+namespace malthus {
+
+AdmissionQueue::AdmissionQueue(std::size_t capacity, bool codel_enabled,
+                               const CoDelOptions& codel_opts)
+    : capacity_(capacity), codel_enabled_(codel_enabled), codel_(codel_opts) {}
+
+bool AdmissionQueue::TryPush(const ServerRequest& request) {
+  const auto now = std::chrono::steady_clock::now();
+  lock_.lock();
+  if (stopped_ || items_.size() >= capacity_) {
+    lock_.unlock();
+    tail_drops_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  items_.push_back(Item{request, now});
+  lock_.unlock();
+  pushed_.fetch_add(1, std::memory_order_relaxed);
+  not_empty_.Signal();
+  return true;
+}
+
+AdmissionQueue::PopResult AdmissionQueue::PopFor(
+    std::chrono::nanoseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  lock_.lock();
+  while (items_.empty()) {
+    if (stopped_) {
+      lock_.unlock();
+      return PopResult{PopStatus::kStopped, {}, {}};
+    }
+    if (!not_empty_.WaitUntil(lock_, deadline) && items_.empty()) {
+      const bool stopped = stopped_;
+      lock_.unlock();
+      return PopResult{stopped ? PopStatus::kStopped : PopStatus::kTimeout,
+                       {},
+                       {}};
+    }
+  }
+  if (stopped_) {
+    // Remaining items are drained (and accounted) by the owner via
+    // DrainAll(); consumers just leave.
+    lock_.unlock();
+    return PopResult{PopStatus::kStopped, {}, {}};
+  }
+  Item item = items_.front();
+  items_.pop_front();
+  const auto now = std::chrono::steady_clock::now();
+  const auto sojourn = now - item.enqueued;
+  bool shed = false;
+  if (codel_enabled_) {
+    shed = codel_.OnDequeue(sojourn, now.time_since_epoch());
+  }
+  lock_.unlock();
+  if (shed) {
+    codel_sheds_.fetch_add(1, std::memory_order_relaxed);
+    return PopResult{PopStatus::kShed, item.request, sojourn};
+  }
+  return PopResult{PopStatus::kServe, item.request, sojourn};
+}
+
+void AdmissionQueue::Stop() {
+  lock_.lock();
+  stopped_ = true;
+  lock_.unlock();
+  not_empty_.Broadcast();
+}
+
+void AdmissionQueue::Restart() {
+  lock_.lock();
+  stopped_ = false;
+  lock_.unlock();
+}
+
+std::vector<ServerRequest> AdmissionQueue::DrainAll() {
+  std::vector<ServerRequest> out;
+  lock_.lock();
+  out.reserve(items_.size());
+  for (const Item& item : items_) {
+    out.push_back(item.request);
+  }
+  items_.clear();
+  lock_.unlock();
+  return out;
+}
+
+std::size_t AdmissionQueue::Size() {
+  lock_.lock();
+  const std::size_t s = items_.size();
+  lock_.unlock();
+  return s;
+}
+
+}  // namespace malthus

@@ -1,0 +1,99 @@
+// Bounded admission queue with CoDel queue management — the buffer between
+// the open-loop arrival process and the worker pool.
+//
+// Arrivals tail-drop when the queue is full (the hard backstop bounding
+// memory); dequeues consult the CoDel controller with the item's measured
+// sojourn time, so a *standing* backlog — the signature of offered load
+// beyond capacity — is shed at a controlled, increasing rate until queueing
+// delay returns under target. Together the two mechanisms keep the queue
+// short enough that served requests meet the latency SLO no matter how far
+// offered load exceeds capacity; without them an open-loop overload grows
+// the queue (and every request's sojourn) without bound.
+//
+// Plain FIFO + one mutex + one condvar: the queue itself is deliberately
+// not the interesting contention point — the backend's global lock is.
+#ifndef MALTHUS_SRC_SERVER_ADMISSION_QUEUE_H_
+#define MALTHUS_SRC_SERVER_ADMISSION_QUEUE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "src/core/cr_condvar.h"
+#include "src/locks/tas.h"
+#include "src/server/codel.h"
+#include "src/server/request.h"
+
+namespace malthus {
+
+class AdmissionQueue {
+ public:
+  AdmissionQueue(std::size_t capacity, bool codel_enabled,
+                 const CoDelOptions& codel_opts);
+  AdmissionQueue(const AdmissionQueue&) = delete;
+  AdmissionQueue& operator=(const AdmissionQueue&) = delete;
+
+  // Enqueues unless the queue is at capacity (tail drop → false) or
+  // stopped. Timestamps the enqueue for the sojourn measurement.
+  bool TryPush(const ServerRequest& request);
+
+  enum class PopStatus : std::uint8_t {
+    kServe,    // item dequeued, sojourn under control — serve it
+    kShed,     // item dequeued but CoDel says shed it (standing backlog)
+    kTimeout,  // queue stayed empty for the whole timeout
+    kStopped,  // Stop() was called — consumers should exit
+  };
+  struct PopResult {
+    PopStatus status = PopStatus::kTimeout;
+    ServerRequest request{};
+    std::chrono::nanoseconds sojourn{0};
+  };
+
+  // Blocks up to `timeout` for an item. Returns kStopped immediately once
+  // Stop() has been called (remaining items are recovered via DrainAll).
+  PopResult PopFor(std::chrono::nanoseconds timeout);
+
+  // Wakes all blocked consumers and makes subsequent pops return kStopped.
+  void Stop();
+
+  // Re-arms a stopped queue (server restart). The owner must have drained
+  // it first.
+  void Restart();
+
+  // Removes and returns everything still queued (teardown accounting).
+  std::vector<ServerRequest> DrainAll();
+
+  std::size_t Size();
+  std::uint64_t pushed() const { return pushed_.load(std::memory_order_relaxed); }
+  std::uint64_t tail_drops() const {
+    return tail_drops_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t codel_sheds() const {
+    return codel_sheds_.load(std::memory_order_relaxed);
+  }
+  // Consumer-side CoDel state; read under no lock for stats only.
+  const CoDel& codel() const { return codel_; }
+
+ private:
+  struct Item {
+    ServerRequest request;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  const std::size_t capacity_;
+  const bool codel_enabled_;
+  TtasLock lock_;
+  CrCondVar not_empty_;
+  std::deque<Item> items_;
+  CoDel codel_;  // guarded by lock_ (consulted during pop)
+  bool stopped_ = false;
+  std::atomic<std::uint64_t> pushed_{0};
+  std::atomic<std::uint64_t> tail_drops_{0};
+  std::atomic<std::uint64_t> codel_sheds_{0};
+};
+
+}  // namespace malthus
+
+#endif  // MALTHUS_SRC_SERVER_ADMISSION_QUEUE_H_

@@ -1,0 +1,179 @@
+#include "src/server/backend.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "src/core/lifocr.h"
+#include "src/core/mcscr.h"
+#include "src/core/mcscrn.h"
+#include "src/core/throttle.h"
+#include "src/kchash/kchash.h"
+#include "src/locks/mcs.h"
+#include "src/locks/pthread_style.h"
+#include "src/locks/tas.h"
+#include "src/locks/ticket.h"
+#include "src/minidb/minidb.h"
+#include "src/minidb/simple_lru.h"
+#include "src/platform/sysinfo.h"
+
+namespace malthus {
+namespace {
+
+std::string EncodeValue(std::uint64_t value) {
+  return std::string(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+std::uint64_t DecodeValue(const std::string& s) {
+  std::uint64_t v = 0;
+  std::memcpy(&v, s.data(), std::min(s.size(), sizeof(v)));
+  return v;
+}
+
+template <typename Lock>
+class MiniDbBackend final : public KvBackend {
+ public:
+  explicit MiniDbBackend(std::string name)
+      : name_(std::move(name)), db_(/*cache_blocks=*/4096) {}
+
+  void Put(std::uint64_t key, std::uint64_t value) override {
+    db_.Put(key, EncodeValue(value));
+  }
+  bool Get(std::uint64_t key, std::uint64_t* value) override {
+    auto v = db_.Get(key);
+    if (!v.has_value()) {
+      return false;
+    }
+    *value = DecodeValue(*v);
+    return true;
+  }
+  std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  MiniDb<Lock> db_;
+};
+
+template <typename Lock>
+class KcHashBackend final : public KvBackend {
+ public:
+  explicit KcHashBackend(std::string name)
+      : name_(std::move(name)),
+        db_(/*bucket_count=*/1 << 16, /*capacity=*/1 << 15) {}
+
+  void Put(std::uint64_t key, std::uint64_t value) override {
+    db_.Set(key, EncodeValue(value));
+  }
+  bool Get(std::uint64_t key, std::uint64_t* value) override {
+    auto v = db_.Get(key);
+    if (!v.has_value()) {
+      return false;
+    }
+    *value = DecodeValue(*v);
+    return true;
+  }
+  std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  LockedKcHash<Lock> db_;
+};
+
+template <typename Lock>
+class LruBackend final : public KvBackend {
+ public:
+  explicit LruBackend(std::string name)
+      : name_(std::move(name)), cache_(/*max_size=*/1 << 15) {}
+
+  void Put(std::uint64_t key, std::uint64_t value) override {
+    cache_.Insert(key, value);
+  }
+  bool Get(std::uint64_t key, std::uint64_t* value) override {
+    auto v = cache_.Lookup(key);
+    if (!v.has_value()) {
+      // Miss installs the key itself — the paper's LRUCache workload, where
+      // a miss costs exactly one erase + one insert.
+      cache_.Insert(key, key);
+      return false;
+    }
+    *value = *v;
+    return true;
+  }
+  std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  SimpleLru<Lock> cache_;
+};
+
+template <typename Lock>
+std::unique_ptr<KvBackend> MakeWithLock(const std::string& structure,
+                                        const std::string& full_name) {
+  if (structure == "minidb") {
+    return std::make_unique<MiniDbBackend<Lock>>(full_name);
+  }
+  if (structure == "kchash") {
+    return std::make_unique<KcHashBackend<Lock>>(full_name);
+  }
+  if (structure == "lru") {
+    return std::make_unique<LruBackend<Lock>>(full_name);
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+std::unique_ptr<KvBackend> MakeBackend(const std::string& structure,
+                                       const std::string& lock_name) {
+  const std::string full = structure + "/" + lock_name;
+  // Throttled variants: CR imposed outside the lock (§A.1). The K is the
+  // saturation-oriented static choice — the host's effective parallelism.
+  if (lock_name.rfind("throttled-", 0) == 0) {
+    const std::string inner = lock_name.substr(10);
+    if (inner == "mcs-stp") {
+      return MakeWithLock<ThrottledLock<McsStpLock>>(structure, full);
+    }
+    if (inner == "tas") {
+      return MakeWithLock<ThrottledLock<TtasLock>>(structure, full);
+    }
+    if (inner == "pthread-style") {
+      return MakeWithLock<ThrottledLock<PthreadStyleMutex>>(structure, full);
+    }
+    return nullptr;
+  }
+  if (lock_name == "tas") {
+    return MakeWithLock<TtasLock>(structure, full);
+  }
+  if (lock_name == "ticket") {
+    return MakeWithLock<TicketLock>(structure, full);
+  }
+  if (lock_name == "pthread-style") {
+    return MakeWithLock<PthreadStyleMutex>(structure, full);
+  }
+  if (lock_name == "mcs-stp") {
+    return MakeWithLock<McsStpLock>(structure, full);
+  }
+  if (lock_name == "mcscr-stp") {
+    return MakeWithLock<McscrStpLock>(structure, full);
+  }
+  if (lock_name == "mcscrn-stp") {
+    return MakeWithLock<McscrnStpLock>(structure, full);
+  }
+  if (lock_name == "lifocr-stp") {
+    return MakeWithLock<LifoCrStpLock>(structure, full);
+  }
+  return nullptr;
+}
+
+std::vector<std::string> BackendStructureNames() {
+  return {"minidb", "kchash", "lru"};
+}
+
+std::vector<std::string> BackendLockNames() {
+  return {"tas",         "ticket",      "pthread-style",
+          "mcs-stp",     "mcscr-stp",   "mcscrn-stp",
+          "lifocr-stp",  "throttled-mcs-stp", "throttled-tas",
+          "throttled-pthread-style"};
+}
+
+}  // namespace malthus

@@ -1,0 +1,46 @@
+// Type-erased KV backend: the hot shared structure the server's workers
+// contend on. Implementations front the repo's existing single-global-lock
+// data structures — minidb (memtable + block cache), kchash (Kyoto-style
+// hash cache), simple_lru (CEPH-style LRU) — parameterized by lock registry
+// name, so the sweep harness swaps {structure × lock algorithm} the way the
+// figure benches do.
+//
+// The virtual-call overhead is identical across variants (the any_lock.h
+// argument), so relative comparisons across locks and admission settings
+// are unaffected.
+#ifndef MALTHUS_SRC_SERVER_BACKEND_H_
+#define MALTHUS_SRC_SERVER_BACKEND_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace malthus {
+
+class KvBackend {
+ public:
+  virtual ~KvBackend() = default;
+
+  virtual void Put(std::uint64_t key, std::uint64_t value) = 0;
+  // Returns true on hit; on miss implementations may install the key
+  // (cache-fill semantics, matching the paper's LRU workload).
+  virtual bool Get(std::uint64_t key, std::uint64_t* value) = 0;
+  virtual std::string name() const = 0;
+};
+
+// Known structures: "minidb", "kchash", "lru". Lock names are the any_lock
+// registry subset usable as a structure mutex, plus "throttled-<name>"
+// variants that wrap the lock in ThrottledLock (CR imposed outside the
+// lock, paper §A.1) — e.g. "throttled-mcs-stp". Returns nullptr for
+// unknown combinations.
+std::unique_ptr<KvBackend> MakeBackend(const std::string& structure,
+                                       const std::string& lock_name);
+
+// Structures and lock names MakeBackend accepts, for sweep registration.
+std::vector<std::string> BackendStructureNames();
+std::vector<std::string> BackendLockNames();
+
+}  // namespace malthus
+
+#endif  // MALTHUS_SRC_SERVER_BACKEND_H_

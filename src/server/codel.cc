@@ -1,0 +1,56 @@
+#include "src/server/codel.h"
+
+#include <cmath>
+
+namespace malthus {
+
+std::chrono::nanoseconds CoDel::ControlLaw(std::chrono::nanoseconds t) const {
+  return t + std::chrono::nanoseconds(static_cast<std::int64_t>(
+                 static_cast<double>(opts_.interval.count()) /
+                 std::sqrt(static_cast<double>(count_))));
+}
+
+bool CoDel::OnDequeue(std::chrono::nanoseconds sojourn,
+                      std::chrono::nanoseconds now) {
+  if (sojourn < opts_.target) {
+    // Below target: any standing backlog has cleared. Leave the dropping
+    // state and forget the above-target streak.
+    first_above_ = std::chrono::nanoseconds(0);
+    if (dropping_) {
+      dropping_ = false;
+      last_count_ = count_;
+    }
+    return false;
+  }
+
+  if (dropping_) {
+    if (now >= drop_next_) {
+      ++count_;
+      ++drops_;
+      drop_next_ = ControlLaw(drop_next_);
+      return true;
+    }
+    return false;
+  }
+
+  // Above target but not yet dropping: start (or continue) the streak.
+  if (first_above_ == std::chrono::nanoseconds(0)) {
+    first_above_ = now + opts_.interval;
+    return false;
+  }
+  if (now < first_above_) {
+    return false;
+  }
+
+  // Sojourn exceeded target for a full interval: enter the dropping state.
+  // If we were dropping recently, resume near the previous rate instead of
+  // relearning it from 1 (the standard CoDel restart heuristic).
+  dropping_ = true;
+  const bool recently = (now - drop_next_) < (8 * opts_.interval);
+  count_ = (recently && last_count_ > 2) ? last_count_ - 2 : 1;
+  ++drops_;
+  drop_next_ = ControlLaw(now);
+  return true;
+}
+
+}  // namespace malthus

@@ -1,0 +1,69 @@
+// CoDel (Controlled Delay, Nichols & Jacobson, ACM Queue 2012) queue
+// management for the KV server's admission queue — the BESS codel.h state
+// machine, applied to requests instead of packets.
+//
+// CoDel watches the *sojourn time* of each dequeued item. If sojourn has
+// stayed above `target` for a full `interval`, the queue has a standing
+// backlog that serving faster cannot fix, and the controller enters the
+// dropping state: it sheds the current item and schedules the next shed at
+// interval/sqrt(count), shedding at an increasing rate until sojourn dips
+// back under target. Momentary bursts (sojourn spikes shorter than an
+// interval) are never shed — that is the property that distinguishes CoDel
+// from a naive queue-length or sojourn threshold.
+//
+// The controller is clock-free: callers pass `now` into OnDequeue(), so
+// tests drive the enter/exit-drop transitions with deterministic fake
+// timestamps and the server passes steady_clock readings.
+#ifndef MALTHUS_SRC_SERVER_CODEL_H_
+#define MALTHUS_SRC_SERVER_CODEL_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace malthus {
+
+struct CoDelOptions {
+  // Acceptable standing queue delay. The canonical 5 ms works for the
+  // request latencies this server targets.
+  std::chrono::nanoseconds target{std::chrono::milliseconds(5)};
+  // Window sojourn must exceed target continuously before shedding starts;
+  // also the initial shed spacing.
+  std::chrono::nanoseconds interval{std::chrono::milliseconds(100)};
+};
+
+class CoDel {
+ public:
+  explicit CoDel(const CoDelOptions& opts = {}) : opts_(opts) {}
+
+  // Called once per dequeued item with the item's queue sojourn time and
+  // the current timestamp (any consistent monotonic epoch). Returns true if
+  // the item should be shed. Single-consumer-side state; callers serialize
+  // (the admission queue consults it under its lock).
+  bool OnDequeue(std::chrono::nanoseconds sojourn,
+                 std::chrono::nanoseconds now);
+
+  bool dropping() const { return dropping_; }
+  std::uint64_t drops() const { return drops_; }
+  // Sheds scheduled back-to-back in the current dropping episode; the
+  // control-law divisor.
+  std::uint32_t drop_count() const { return count_; }
+
+  const CoDelOptions& options() const { return opts_; }
+
+ private:
+  std::chrono::nanoseconds ControlLaw(std::chrono::nanoseconds t) const;
+
+  CoDelOptions opts_;
+  bool dropping_ = false;
+  // Time at which a continuously-above-target sojourn justifies shedding;
+  // zero when sojourn was last observed below target.
+  std::chrono::nanoseconds first_above_{0};
+  std::chrono::nanoseconds drop_next_{0};
+  std::uint32_t count_ = 0;       // sheds this episode (control-law divisor)
+  std::uint32_t last_count_ = 0;  // count_ when the last episode ended
+  std::uint64_t drops_ = 0;
+};
+
+}  // namespace malthus
+
+#endif  // MALTHUS_SRC_SERVER_CODEL_H_

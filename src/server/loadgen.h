@@ -1,0 +1,91 @@
+// Open-loop load generation: arrival *rate* is the independent variable.
+//
+// Closed-loop harnesses (every benchmark in bench/fig*) couple the arrival
+// process to service completions — N threads each issue the next request
+// only after the previous one returns — so overload manifests as reduced
+// throughput, never as queueing delay, and tail latency is silently capped
+// at N in-flight requests (coordinated omission). Real served traffic is
+// open-loop: millions of independent clients arrive on their own schedule,
+// indifferent to how the server is coping. This generator reproduces that:
+// arrivals follow a fixed schedule (Poisson or fixed-rate) computed up
+// front from the rate knob, each request is stamped with its *scheduled*
+// arrival time, and if the generator falls behind it submits late without
+// dropping ticks — the lag lands in the end-to-end histogram where it
+// belongs.
+//
+// Multi-tenant: each arrival picks a tenant by weight, then a key from the
+// tenant's own Zipf distribution over the tenant's private key range.
+#ifndef MALTHUS_SRC_SERVER_LOADGEN_H_
+#define MALTHUS_SRC_SERVER_LOADGEN_H_
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "src/server/request.h"
+#include "src/server/zipf.h"
+
+namespace malthus {
+
+class KvServer;
+
+struct LoadGenOptions {
+  double rate_per_sec = 10000.0;
+  // Poisson (exponential inter-arrival) vs fixed-rate arrivals.
+  bool poisson = true;
+  std::chrono::nanoseconds duration{std::chrono::seconds(1)};
+
+  std::uint32_t tenants = 1;
+  // Relative offered-load share per tenant; empty = equal shares. Sized or
+  // truncated to `tenants`.
+  std::vector<double> tenant_weights{};
+  std::uint64_t keys_per_tenant = 65536;
+  double zipf_theta = 0.99;
+  double put_fraction = 0.1;
+  std::uint64_t seed = 1;
+};
+
+struct LoadGenStats {
+  std::uint64_t offered = 0;   // requests submitted (incl. tail-dropped)
+  std::uint64_t accepted = 0;  // Submit() returned true
+  std::uint64_t dropped = 0;   // tail-dropped at the admission queue
+  // Worst generator lag behind the arrival schedule: how late the busiest
+  // submission was. Large lag means the generator (not the server) was the
+  // bottleneck and the offered rate was not actually reached.
+  std::chrono::nanoseconds max_lag{0};
+  std::chrono::nanoseconds actual_duration{0};
+  double OfferedRate() const {
+    const double secs =
+        static_cast<double>(actual_duration.count()) / 1e9;
+    return secs > 0 ? static_cast<double>(offered) / secs : 0.0;
+  }
+};
+
+// Tenant-disjoint key spaces: tenant id in the high bits.
+inline std::uint64_t TenantKey(std::uint32_t tenant, std::uint64_t key) {
+  return (static_cast<std::uint64_t>(tenant) << 40) | key;
+}
+
+class LoadGenerator {
+ public:
+  explicit LoadGenerator(const LoadGenOptions& opts);
+
+  // Drives the arrival schedule against `server` on the calling thread
+  // until `duration` of schedule has been issued. Reentrant across
+  // instances; one instance = one arrival stream.
+  LoadGenStats Run(KvServer& server);
+
+  // One arrival's worth of request content (tenant, op, key) — exposed so
+  // tests and the capacity calibrator can draw from the same workload
+  // distribution without the pacing loop.
+  ServerRequest NextRequest(XorShift64& rng);
+
+ private:
+  LoadGenOptions opts_;
+  std::vector<double> cumulative_weights_;
+  std::vector<ZipfGenerator> zipf_;  // one per tenant
+};
+
+}  // namespace malthus
+
+#endif  // MALTHUS_SRC_SERVER_LOADGEN_H_

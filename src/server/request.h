@@ -1,0 +1,29 @@
+// The unit of work flowing through the KV server: one tenant-tagged
+// get/put, stamped with its *scheduled* open-loop arrival time.
+//
+// End-to-end latency is measured from `arrival`, not from when the load
+// generator managed to call Submit(): if the generator falls behind the
+// arrival schedule, the lag counts against the server's latency numbers
+// instead of silently vanishing — the standard coordinated-omission fix.
+#ifndef MALTHUS_SRC_SERVER_REQUEST_H_
+#define MALTHUS_SRC_SERVER_REQUEST_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace malthus {
+
+struct ServerRequest {
+  enum class Op : std::uint8_t { kGet, kPut };
+
+  std::uint32_t tenant = 0;
+  Op op = Op::kGet;
+  std::uint64_t key = 0;
+  std::uint64_t value = 0;
+  // Scheduled arrival (open-loop); origin of the end-to-end measurement.
+  std::chrono::steady_clock::time_point arrival{};
+};
+
+}  // namespace malthus
+
+#endif  // MALTHUS_SRC_SERVER_REQUEST_H_

@@ -1,0 +1,246 @@
+#include "src/server/server.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/chaos/failpoint.h"
+#include "src/locks/lock_base.h"
+#include "src/platform/sysinfo.h"
+#include "src/platform/thread_registry.h"
+
+namespace malthus {
+
+KvServer::KvServer(const KvServerOptions& opts)
+    : opts_(opts),
+      queue_(opts.queue_capacity, opts.codel_enabled, opts.codel) {
+  if (opts_.tenants == 0) {
+    opts_.tenants = 1;
+  }
+  tenants_.reserve(opts_.tenants);
+  for (std::uint32_t i = 0; i < opts_.tenants; ++i) {
+    tenants_.push_back(std::make_unique<Tenant>());
+  }
+}
+
+KvServer::~KvServer() { Stop(); }
+
+bool KvServer::Start() {
+  if (running_) {
+    return true;
+  }
+  backend_ = MakeBackend(opts_.structure, opts_.lock_name);
+  if (backend_ == nullptr) {
+    return false;
+  }
+  if (opts_.admission_enabled) {
+    const std::uint32_t k =
+        opts_.max_inflight != 0
+            ? opts_.max_inflight
+            : static_cast<std::uint32_t>(EffectiveCpuCount());
+    gate_ = std::make_unique<CrSemaphore>(
+        static_cast<std::int64_t>(k),
+        CrSemaphoreOptions{.append_probability = opts_.gate_append_probability});
+  } else {
+    gate_.reset();
+  }
+  zombie_baseline_ = OutstandingZombieQNodes();
+  stop_.store(false, std::memory_order_relaxed);
+  queue_.Restart();
+  workers_.reserve(opts_.workers);
+  for (std::size_t i = 0; i < opts_.workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  running_ = true;
+  return true;
+}
+
+void KvServer::Stop() {
+  if (!running_) {
+    return;
+  }
+  stop_.store(true, std::memory_order_relaxed);
+  queue_.Stop();
+  for (std::thread& w : workers_) {
+    w.join();
+  }
+  workers_.clear();
+  for (const ServerRequest& r : queue_.DrainAll()) {
+    TenantRef(r.tenant).shed_at_stop.fetch_add(1, std::memory_order_relaxed);
+  }
+  // Teardown hygiene check. Workers reaped their own zombie QNodes before
+  // retiring (WorkerLoop epilogue); anything still outstanding above the
+  // Start() baseline is a husk pinned by a granter that no longer exists —
+  // a genuine leak that would accumulate across server restarts. The gauge
+  // is process-wide, so allow a short grace period for unrelated threads'
+  // in-flight reclaims to land before declaring the leak.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(500);
+  while (OutstandingZombieQNodes() > zombie_baseline_ &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
+  }
+  const std::uint64_t outstanding = OutstandingZombieQNodes();
+  if (outstanding > zombie_baseline_) {
+    std::fprintf(stderr,
+                 "[KvServer] teardown leaked %llu zombie QNode(s) "
+                 "(baseline %llu) — worker churn left timed-waiter husks\n",
+                 static_cast<unsigned long long>(outstanding - zombie_baseline_),
+                 static_cast<unsigned long long>(zombie_baseline_));
+    std::abort();
+  }
+  running_ = false;
+}
+
+bool KvServer::Submit(const ServerRequest& request) {
+  MALTHUS_FAILPOINT("server.admit");
+  Tenant& t = TenantRef(request.tenant);
+  t.offered.fetch_add(1, std::memory_order_relaxed);
+  if (!queue_.TryPush(request)) {
+    MALTHUS_FAILPOINT("server.shed");
+    t.shed_queue_full.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  return true;
+}
+
+void KvServer::WorkerLoop() {
+  for (;;) {
+    AdmissionQueue::PopResult res =
+        queue_.PopFor(std::chrono::milliseconds(20));
+    if (res.status == AdmissionQueue::PopStatus::kStopped) {
+      break;
+    }
+    if (res.status == AdmissionQueue::PopStatus::kTimeout) {
+      continue;
+    }
+    if (res.status == AdmissionQueue::PopStatus::kShed) {
+      // Standing backlog: CoDel converted this request into a controlled
+      // shed instead of letting it (and everything behind it) blow the SLO.
+      MALTHUS_FAILPOINT("server.shed");
+      TenantRef(res.request.tenant)
+          .shed_codel.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    ServeOne(res.request, std::chrono::steady_clock::now());
+  }
+  // Worker retirement: short-lived pool threads must not leak timed-waiter
+  // husks. Reap this thread's zombie QNodes (bounded wait for granters to
+  // release their pins) and drain any stale permit so the Parker retires
+  // neutral.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(200);
+  while (ReapZombieQNodes() > 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
+  }
+  Self().parker.DrainPermit();
+}
+
+void KvServer::ServeOne(const ServerRequest& request,
+                        std::chrono::steady_clock::time_point dequeued) {
+  MALTHUS_FAILPOINT("server.dispatch");
+  Tenant& t = TenantRef(request.tenant);
+  bool gated = false;
+  if (gate_ != nullptr) {
+    // The CR gate: concurrency restriction as admission control. At most K
+    // requests are in flight over the backend; surplus workers passivate in
+    // the mostly-LIFO wait queue (the same warm-subset dynamics as MCSCR's
+    // passive list). A request that cannot reach the backend within the
+    // gate budget has already blown its latency SLO — shed it.
+    if (opts_.gate_timeout.count() > 0) {
+      if (!gate_->TryAcquireFor(opts_.gate_timeout)) {
+        MALTHUS_FAILPOINT("server.shed");
+        t.shed_gate_timeout.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+    } else {
+      gate_->Wait();
+    }
+    gated = true;
+  }
+  std::uint64_t value = 0;
+  if (request.op == ServerRequest::Op::kGet) {
+    if (backend_->Get(request.key, &value)) {
+      t.get_hits.fetch_add(1, std::memory_order_relaxed);
+    }
+  } else {
+    backend_->Put(request.key, request.value);
+  }
+  if (gated) {
+    // Anticipatory handover: start the head gate-waiter's wakeup before the
+    // permit post so the handoff needs no futex syscall (§5.2).
+    gate_->PreparePost();
+    gate_->Post();
+  }
+  const auto end = std::chrono::steady_clock::now();
+  const auto e2e = end - request.arrival;
+  const auto service = end - dequeued;
+  t.e2e.Record(e2e.count() > 0 ? static_cast<std::uint64_t>(e2e.count()) : 0);
+  t.service.Record(
+      service.count() > 0 ? static_cast<std::uint64_t>(service.count()) : 0);
+  t.served.fetch_add(1, std::memory_order_relaxed);
+}
+
+TenantStats KvServer::SnapshotTenant(const Tenant& t) {
+  TenantStats s;
+  s.offered = t.offered.load(std::memory_order_relaxed);
+  s.served = t.served.load(std::memory_order_relaxed);
+  s.shed_queue_full = t.shed_queue_full.load(std::memory_order_relaxed);
+  s.shed_codel = t.shed_codel.load(std::memory_order_relaxed);
+  s.shed_gate_timeout = t.shed_gate_timeout.load(std::memory_order_relaxed);
+  s.shed_at_stop = t.shed_at_stop.load(std::memory_order_relaxed);
+  s.get_hits = t.get_hits.load(std::memory_order_relaxed);
+  s.e2e_p50 = t.e2e.Percentile(50);
+  s.e2e_p90 = t.e2e.Percentile(90);
+  s.e2e_p99 = t.e2e.Percentile(99);
+  s.e2e_p999 = t.e2e.Percentile(99.9);
+  s.svc_p50 = t.service.Percentile(50);
+  s.svc_p90 = t.service.Percentile(90);
+  s.svc_p99 = t.service.Percentile(99);
+  s.svc_p999 = t.service.Percentile(99.9);
+  s.e2e_max = t.e2e.Max();
+  s.e2e_mean = t.e2e.Mean();
+  return s;
+}
+
+TenantStats KvServer::StatsFor(std::uint32_t tenant) const {
+  return SnapshotTenant(TenantRef(tenant));
+}
+
+TenantStats KvServer::Aggregate() const {
+  Tenant merged;
+  TenantStats s;
+  for (const auto& t : tenants_) {
+    s.offered += t->offered.load(std::memory_order_relaxed);
+    s.served += t->served.load(std::memory_order_relaxed);
+    s.shed_queue_full += t->shed_queue_full.load(std::memory_order_relaxed);
+    s.shed_codel += t->shed_codel.load(std::memory_order_relaxed);
+    s.shed_gate_timeout +=
+        t->shed_gate_timeout.load(std::memory_order_relaxed);
+    s.shed_at_stop += t->shed_at_stop.load(std::memory_order_relaxed);
+    s.get_hits += t->get_hits.load(std::memory_order_relaxed);
+    merged.e2e.Merge(t->e2e);
+    merged.service.Merge(t->service);
+  }
+  s.e2e_p50 = merged.e2e.Percentile(50);
+  s.e2e_p90 = merged.e2e.Percentile(90);
+  s.e2e_p99 = merged.e2e.Percentile(99);
+  s.e2e_p999 = merged.e2e.Percentile(99.9);
+  s.svc_p50 = merged.service.Percentile(50);
+  s.svc_p90 = merged.service.Percentile(90);
+  s.svc_p99 = merged.service.Percentile(99);
+  s.svc_p999 = merged.service.Percentile(99.9);
+  s.e2e_max = merged.e2e.Max();
+  s.e2e_mean = merged.e2e.Mean();
+  return s;
+}
+
+std::size_t KvServer::GateWaiters() const {
+  return gate_ != nullptr ? gate_->WaiterCount() : 0;
+}
+
+std::uint64_t KvServer::GateTimeouts() const {
+  return gate_ != nullptr ? gate_->Timeouts() : 0;
+}
+
+}  // namespace malthus

@@ -1,0 +1,183 @@
+// KvServer — the multi-tenant request-serving front end over the repo's
+// single-global-lock data structures, turning the paper's "overthreading
+// collapses throughput" claim into a served-traffic SLO story.
+//
+// Pipeline:
+//
+//   open-loop arrivals ──Submit()──▶ AdmissionQueue ──▶ worker pool
+//        (loadgen.h)      tail-drop │  CoDel shed        │
+//                                   ▼                    ▼
+//                                shed                CR gate (CrSemaphore,
+//                                                    mostly-LIFO): at most
+//                                                    K in-flight requests
+//                                                    touch the backend
+//                                                         │
+//                                                         ▼
+//                                                  KvBackend (minidb /
+//                                                  kchash / lru behind one
+//                                                  Malthusian lock)
+//
+// The CR gate is the paper's concurrency restriction acting as *admission
+// control*: no matter how many workers the pool runs (the oversubscription
+// axis), only K requests circulate over the hot structure; the surplus
+// workers passivate in the semaphore's mostly-LIFO wait queue exactly as
+// surplus lock waiters passivate in MCSCR. CoDel + the bounded queue
+// convert excess offered load into controlled shedding instead of unbounded
+// queueing delay, so the p99 of *served* requests stays flat as offered
+// load sweeps past capacity.
+//
+// Every completed request lands in per-tenant log-bucket histograms:
+// end-to-end (scheduled arrival → completion, coordinated-omission-safe)
+// and service-only (dequeue → completion, i.e. gate wait + lock wait +
+// critical section).
+//
+// FailPoint sites (see docs/chaos.md): "server.admit" on the submit path,
+// "server.shed" on every shed path, "server.dispatch" before the backend
+// op.
+#ifndef MALTHUS_SRC_SERVER_SERVER_H_
+#define MALTHUS_SRC_SERVER_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/cr_semaphore.h"
+#include "src/metrics/histogram.h"
+#include "src/platform/align.h"
+#include "src/server/admission_queue.h"
+#include "src/server/backend.h"
+#include "src/server/codel.h"
+#include "src/server/request.h"
+
+namespace malthus {
+
+struct KvServerOptions {
+  // Worker pool size. Sweeps oversubscribe this relative to
+  // EffectiveCpuCount() to reproduce the paper's excess-thread axis.
+  std::size_t workers = 4;
+  std::size_t queue_capacity = 4096;
+
+  // Queue management (CoDel). Disabled = plain bounded FIFO: the "no
+  // admission control" arm of the sweep, where overload turns into
+  // queueing delay instead of shedding.
+  bool codel_enabled = true;
+  CoDelOptions codel{};
+
+  // CR gate: max requests concurrently in flight over the backend.
+  // 0 = EffectiveCpuCount(). Disabled = every worker may dive at the lock.
+  bool admission_enabled = true;
+  std::uint32_t max_inflight = 0;
+  // Mostly-LIFO keeps a warm worker subset circulating (§6.11).
+  double gate_append_probability = 1.0 / 1000;
+  // Bound on the gate wait; a request that cannot reach the backend within
+  // this budget is shed (it would blow its latency SLO anyway). 0 = wait
+  // forever.
+  std::chrono::nanoseconds gate_timeout{std::chrono::milliseconds(100)};
+
+  // Backend selection (see backend.h).
+  std::string structure = "minidb";
+  std::string lock_name = "mcs-stp";
+
+  std::uint32_t tenants = 1;
+};
+
+// Counter + percentile snapshot for one tenant (or the aggregate).
+struct TenantStats {
+  std::uint64_t offered = 0;
+  std::uint64_t served = 0;
+  std::uint64_t shed_queue_full = 0;  // tail-dropped at Submit
+  std::uint64_t shed_codel = 0;       // shed by CoDel at dequeue
+  std::uint64_t shed_gate_timeout = 0;
+  std::uint64_t shed_at_stop = 0;  // still queued at Stop()
+  std::uint64_t get_hits = 0;
+  // Percentiles in nanoseconds.
+  std::uint64_t e2e_p50 = 0, e2e_p90 = 0, e2e_p99 = 0, e2e_p999 = 0;
+  std::uint64_t svc_p50 = 0, svc_p90 = 0, svc_p99 = 0, svc_p999 = 0;
+  std::uint64_t e2e_max = 0;
+  double e2e_mean = 0.0;
+
+  std::uint64_t shed_total() const {
+    return shed_queue_full + shed_codel + shed_gate_timeout + shed_at_stop;
+  }
+};
+
+class KvServer {
+ public:
+  explicit KvServer(const KvServerOptions& opts);
+  ~KvServer();
+  KvServer(const KvServer&) = delete;
+  KvServer& operator=(const KvServer&) = delete;
+
+  // Spawns the worker pool. Returns false if the backend combination is
+  // unknown. Idempotent while running.
+  bool Start();
+
+  // Stops accepting work, joins workers, accounts still-queued requests as
+  // shed, and verifies teardown hygiene: every worker drains its QNode
+  // zombies and Parker permit before retiring, and Stop() aborts if worker
+  // churn leaked timed-waiter husks (OutstandingZombieQNodes above the
+  // Start() baseline).
+  void Stop();
+
+  bool running() const { return running_; }
+
+  // Open-loop entry point: never blocks. False = shed at the tail
+  // (queue full), already counted against the tenant.
+  bool Submit(const ServerRequest& request);
+
+  // Snapshot of one tenant's counters + percentiles. Tenant ids are taken
+  // modulo options().tenants on Submit, so any id is valid here.
+  TenantStats StatsFor(std::uint32_t tenant) const;
+  // Merged across tenants (histograms merged, then percentiles taken).
+  TenantStats Aggregate() const;
+
+  std::size_t QueueDepth() { return queue_.Size(); }
+  const AdmissionQueue& queue() const { return queue_; }
+  // Gate stats; zeros when admission is disabled.
+  std::size_t GateWaiters() const;
+  std::uint64_t GateTimeouts() const;
+
+  const KvServerOptions& options() const { return opts_; }
+  KvBackend* backend() { return backend_.get(); }
+
+ private:
+  // Per-tenant accounting. Cache-line aligned: every worker hammers these
+  // on every completion; adjacent tenants must not false-share.
+  struct alignas(kCacheLineSize) Tenant {
+    std::atomic<std::uint64_t> offered{0};
+    std::atomic<std::uint64_t> served{0};
+    std::atomic<std::uint64_t> shed_queue_full{0};
+    std::atomic<std::uint64_t> shed_codel{0};
+    std::atomic<std::uint64_t> shed_gate_timeout{0};
+    std::atomic<std::uint64_t> shed_at_stop{0};
+    std::atomic<std::uint64_t> get_hits{0};
+    LatencyHistogram e2e;
+    LatencyHistogram service;
+  };
+
+  void WorkerLoop();
+  void ServeOne(const ServerRequest& request,
+                std::chrono::steady_clock::time_point dequeued);
+  Tenant& TenantRef(std::uint32_t tenant) const {
+    return *tenants_[tenant % opts_.tenants];
+  }
+  static TenantStats SnapshotTenant(const Tenant& t);
+
+  KvServerOptions opts_;
+  AdmissionQueue queue_;
+  std::unique_ptr<KvBackend> backend_;
+  std::unique_ptr<CrSemaphore> gate_;  // null when admission disabled
+  mutable std::vector<std::unique_ptr<Tenant>> tenants_;
+  std::vector<std::thread> workers_;
+  std::atomic<bool> stop_{false};
+  bool running_ = false;
+  std::uint64_t zombie_baseline_ = 0;
+};
+
+}  // namespace malthus
+
+#endif  // MALTHUS_SRC_SERVER_SERVER_H_

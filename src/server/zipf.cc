@@ -1,0 +1,66 @@
+#include "src/server/zipf.h"
+
+#include <cmath>
+
+namespace malthus {
+namespace {
+
+double Zeta(std::uint64_t n, double theta) {
+  double sum = 0.0;
+  for (std::uint64_t i = 1; i <= n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  return sum;
+}
+
+}  // namespace
+
+ZipfGenerator::ZipfGenerator(std::uint64_t n, double theta, bool scramble)
+    : n_(n == 0 ? 1 : n), theta_(theta), scramble_(scramble) {
+  if (theta_ <= 0.0) {
+    theta_ = 0.0;
+    zetan_ = zeta2_ = alpha_ = eta_ = 0.0;
+    return;
+  }
+  zetan_ = Zeta(n_, theta_);
+  zeta2_ = Zeta(2, theta_);
+  alpha_ = 1.0 / (1.0 - theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+         (1.0 - zeta2_ / zetan_);
+}
+
+std::uint64_t ZipfGenerator::NextRank(XorShift64& rng) {
+  if (theta_ == 0.0) {
+    return rng.NextBelow(n_);
+  }
+  // Gray et al. closed-form inverse: one uniform draw partitions [0, zetan)
+  // into the rank-0 mass, the rank-1 mass, and the analytic tail.
+  const double u =
+      static_cast<double>(rng.Next() >> 11) * (1.0 / 9007199254740992.0);
+  const double uz = u * zetan_;
+  if (uz < 1.0) {
+    return 0;
+  }
+  if (uz < 1.0 + std::pow(0.5, theta_)) {
+    return 1;
+  }
+  const double rank = static_cast<double>(n_) *
+                      std::pow(eta_ * u - eta_ + 1.0, alpha_);
+  std::uint64_t r = static_cast<std::uint64_t>(rank);
+  return r >= n_ ? n_ - 1 : r;
+}
+
+std::uint64_t ZipfGenerator::Next(XorShift64& rng) {
+  const std::uint64_t rank = NextRank(rng);
+  if (!scramble_) {
+    return rank;
+  }
+  std::uint64_t s = rank;
+  return SplitMix64(s) % n_;
+}
+
+double ZipfGenerator::HeadProbability() const {
+  return theta_ == 0.0 ? 1.0 / static_cast<double>(n_) : 1.0 / zetan_;
+}
+
+}  // namespace malthus

@@ -1,0 +1,52 @@
+// Zipf-distributed key sampling for the KV server's open-loop load
+// generator (the YCSB ZipfianGenerator construction, Gray et al.'s
+// "Quickly generating billion-record synthetic databases" method): rank r
+// is drawn with probability proportional to 1/(r+1)^theta via one uniform
+// draw and a closed-form inverse, after an O(N) one-time zeta precompute.
+//
+// theta = 0.99 is the YCSB default (heavily skewed: the hottest key draws
+// ~10% of accesses at N=64k); theta = 0 degenerates to uniform. Ranks are
+// optionally scrambled (splitmix64) so "hot" does not mean "adjacent" —
+// without scrambling the hottest keys share minidb cache blocks, which is
+// itself an interesting (but different) workload.
+#ifndef MALTHUS_SRC_SERVER_ZIPF_H_
+#define MALTHUS_SRC_SERVER_ZIPF_H_
+
+#include <cstdint>
+
+#include "src/rng/xorshift.h"
+
+namespace malthus {
+
+class ZipfGenerator {
+ public:
+  // n >= 1 keys; theta in [0, 1). theta == 0 is uniform.
+  ZipfGenerator(std::uint64_t n, double theta, bool scramble = true);
+
+  // Draws a key in [0, n). With scrambling, the returned value is a
+  // permutation-ish hash of the underlying rank (collisions fold two cold
+  // ranks together; the head of the distribution is effectively injective).
+  std::uint64_t Next(XorShift64& rng);
+
+  // The underlying rank draw in [0, n), rank 0 hottest. Exposed for
+  // distribution tests.
+  std::uint64_t NextRank(XorShift64& rng);
+
+  std::uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+  // Probability of rank 0 — the hottest key's share of all draws.
+  double HeadProbability() const;
+
+ private:
+  std::uint64_t n_;
+  double theta_;
+  bool scramble_;
+  double zetan_;      // sum_{i=1..n} 1/i^theta
+  double zeta2_;      // sum_{i=1..2} 1/i^theta
+  double alpha_;      // 1 / (1 - theta)
+  double eta_;
+};
+
+}  // namespace malthus
+
+#endif  // MALTHUS_SRC_SERVER_ZIPF_H_

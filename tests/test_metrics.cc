@@ -2,10 +2,15 @@
 // example), MTTR, Gini coefficient, RSTDDEV, and the admission log.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <thread>
 #include <vector>
 
 #include "src/metrics/admission_log.h"
 #include "src/metrics/fairness.h"
+#include "src/metrics/histogram.h"
+#include "src/rng/xorshift.h"
 
 namespace malthus {
 namespace {
@@ -179,6 +184,140 @@ TEST(AdmissionLog, ResetClearsEverything) {
   EXPECT_EQ(log.TotalAdmissions(), 0u);
   EXPECT_TRUE(log.History().empty());
   EXPECT_TRUE(log.CountsPerThread().empty());
+}
+
+// ---------------------------------------------------------------------------
+// LatencyHistogram: log-bucket mapping, percentile accuracy against an exact
+// sorted reference, merge correctness, and concurrent recording.
+
+// The rank a percentile resolves to, matching LatencyHistogram::Percentile.
+std::uint64_t ExactPercentile(const std::vector<std::uint64_t>& sorted,
+                              double p) {
+  std::uint64_t rank = static_cast<std::uint64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(sorted.size())));
+  if (rank == 0) {
+    rank = 1;
+  }
+  return sorted[rank - 1];
+}
+
+// Quantization bound: bucket upper bounds overstate a value by at most one
+// sub-bucket width = value / 32, plus 1 for the -1 in the upper bound.
+void ExpectWithinQuantization(std::uint64_t hist_value,
+                              std::uint64_t exact_value) {
+  EXPECT_GE(hist_value, exact_value);
+  EXPECT_LE(static_cast<double>(hist_value),
+            static_cast<double>(exact_value) * (1.0 + 1.0 / 32.0) + 1.0);
+}
+
+TEST(LatencyHistogram, BucketMappingRoundTrips) {
+  // Every value must land in a bucket whose [lower, upper] contains it.
+  const std::uint64_t probes[] = {0,    1,    31,    32,        33,
+                                  63,   64,   100,   1000,      4096,
+                                  4097, 1u << 20,    (1u << 20) + 7,
+                                  UINT64_MAX / 3,    UINT64_MAX};
+  for (std::uint64_t v : probes) {
+    const std::size_t idx = LatencyHistogram::BucketIndex(v);
+    ASSERT_LT(idx, LatencyHistogram::kBucketCount);
+    EXPECT_LE(LatencyHistogram::BucketLowerBound(idx), v) << v;
+    EXPECT_GE(LatencyHistogram::BucketUpperBound(idx), v) << v;
+  }
+  // Values below the sub-bucket count are exact.
+  for (std::uint64_t v = 0; v < LatencyHistogram::kSubBucketCount; ++v) {
+    const std::size_t idx = LatencyHistogram::BucketIndex(v);
+    EXPECT_EQ(LatencyHistogram::BucketLowerBound(idx), v);
+    EXPECT_EQ(LatencyHistogram::BucketUpperBound(idx), v);
+  }
+  // Bucket boundaries tile the range with no gaps.
+  for (std::size_t i = 0; i + 1 < LatencyHistogram::kBucketCount; ++i) {
+    EXPECT_EQ(LatencyHistogram::BucketUpperBound(i) + 1,
+              LatencyHistogram::BucketLowerBound(i + 1));
+  }
+}
+
+TEST(LatencyHistogram, PercentilesMatchSortedReference) {
+  // Log-uniform values spanning ns..minutes, the histogram's real domain.
+  XorShift64 rng(42);
+  LatencyHistogram h;
+  std::vector<std::uint64_t> values;
+  values.reserve(100000);
+  for (int i = 0; i < 100000; ++i) {
+    const int magnitude = static_cast<int>(rng.NextBelow(36));
+    const std::uint64_t v = (1ull << magnitude) + rng.NextBelow(1ull << magnitude);
+    values.push_back(v);
+    h.Record(v);
+  }
+  std::sort(values.begin(), values.end());
+  EXPECT_EQ(h.Count(), values.size());
+  EXPECT_EQ(h.Min(), values.front());
+  EXPECT_EQ(h.Max(), values.back());
+  for (double p : {0.0, 10.0, 50.0, 90.0, 99.0, 99.9, 100.0}) {
+    ExpectWithinQuantization(h.Percentile(p), ExactPercentile(values, p));
+  }
+}
+
+TEST(LatencyHistogram, MergeEqualsUnion) {
+  XorShift64 rng(7);
+  LatencyHistogram a, b, reference;
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t v = rng.NextBelow(1u << 20);
+    if (i % 2 == 0) {
+      a.Record(v);
+    } else {
+      b.Record(v);
+    }
+    reference.Record(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.Count(), reference.Count());
+  EXPECT_EQ(a.Min(), reference.Min());
+  EXPECT_EQ(a.Max(), reference.Max());
+  EXPECT_DOUBLE_EQ(a.Mean(), reference.Mean());
+  for (double p : {1.0, 50.0, 99.0, 99.9}) {
+    EXPECT_EQ(a.Percentile(p), reference.Percentile(p));
+  }
+}
+
+TEST(LatencyHistogram, ConcurrentRecordingLosesNothing) {
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50000;
+  LatencyHistogram h;
+  LatencyHistogram reference;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      XorShift64 rng(1000 + t);
+      for (int i = 0; i < kPerThread; ++i) {
+        h.Record(rng.NextBelow(1u << 24));
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  for (int t = 0; t < kThreads; ++t) {
+    XorShift64 rng(1000 + t);
+    for (int i = 0; i < kPerThread; ++i) {
+      reference.Record(rng.NextBelow(1u << 24));
+    }
+  }
+  EXPECT_EQ(h.Count(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  for (double p : {50.0, 99.0, 99.9}) {
+    EXPECT_EQ(h.Percentile(p), reference.Percentile(p));
+  }
+}
+
+TEST(LatencyHistogram, EmptyAndReset) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.Percentile(99), 0u);
+  EXPECT_EQ(h.Min(), 0u);
+  EXPECT_EQ(h.Max(), 0u);
+  h.Record(1234);
+  EXPECT_EQ(h.Count(), 1u);
+  h.Reset();
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.Percentile(50), 0u);
 }
 
 }  // namespace
