@@ -1,0 +1,251 @@
+// Sharding ablation — the PR 8 tentpole figure: how partition count
+// interacts with lock choice and oversubscription.
+//
+// Two families:
+//
+//   AblSharding/kchash/<lock>/shards:S/threads:T
+//     The Figure-9 wicked mix run directly against ShardedKcHash at
+//     shards ∈ {1, 4, 16}. shards=1 is the paper-faithful single-lock
+//     baseline (one Malthusian lock carrying everything); higher counts
+//     split the contention. The interesting read is the oversubscribed
+//     column: sharding divides the arrival rate per lock, but each shard
+//     lock still needs CR to survive preemption — shards and CR compose,
+//     they don't substitute.
+//
+//   AblShardingServer/<lock>/shards:S/workers:W/rate:1.5x
+//     The PR 7 server sweep's overload point (1.5x measured capacity,
+//     admission on) with the backend swapped for sharded-kchash. Capacity
+//     is measured once per lock at shards=1, so every shard count faces the
+//     SAME offered rate and served_per_sec is directly comparable: the
+//     sharded backend's extra headroom shows up as a higher served fraction
+//     at identical load.
+//
+// run_benches.sh records both families into the BENCH_PR8.json ablation
+// block; CI smoke-runs the sharded-kchash × {mcs-stp, mcscr-stp} pair.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/common.h"
+#include "src/platform/sysinfo.h"
+#include "src/server/loadgen.h"
+#include "src/server/server.h"
+#include "src/sharded/sharded_kchash.h"
+
+namespace {
+
+using namespace malthus;
+using namespace malthus::bench;
+using namespace std::chrono_literals;
+
+constexpr std::uint64_t kKeyRange = 1 << 16;
+constexpr std::size_t kBuckets = 1 << 16;
+constexpr std::size_t kCapacity = 1 << 15;
+
+// ---------------------------------------------------------------------------
+// Family 1: the wicked mix directly against ShardedKcHash.
+
+template <typename Lock>
+void RunWickedSharded(benchmark::State& state, std::size_t shards, int threads) {
+  for (auto _ : state) {
+    auto table = std::make_unique<ShardedKcHash<Lock>>(kBuckets, kCapacity, shards);
+    // Pre-fill with kCapacity distinct keys so every point measures the
+    // eviction-active steady state rather than warmup: the mix hash spreads
+    // sequential keys evenly, so each shard starts at its capacity share.
+    for (std::uint64_t k = 0; k < kCapacity; ++k) {
+      table->Set(k, "prefill");
+    }
+    BenchConfig config;
+    config.threads = threads;
+    config.duration = DefaultBenchDuration();
+    const BenchResult result = RunFixedTime(config, [&](int) {
+      table->WickedStep(ThreadLocalRng(), kKeyRange);
+    });
+    ReportResult(state, result);
+    state.counters["shards"] = static_cast<double>(table->shard_count());
+    state.counters["evictions"] = static_cast<double>(table->evictions());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Family 2: the server overload point over the sharded backend.
+
+KvServerOptions ShardedServerConfig(const std::string& lock, std::size_t shards,
+                                    std::size_t workers) {
+  KvServerOptions opts;
+  opts.lock_name = lock;
+  opts.structure = "sharded-kchash";
+  opts.backend_shards = shards;
+  opts.workers = workers;
+  opts.tenants = 2;
+  opts.admission_enabled = true;
+  opts.codel_enabled = true;
+  opts.queue_capacity = 4096;
+  return opts;
+}
+
+LoadGenOptions ShardedLoadConfig(double rate) {
+  LoadGenOptions opts;
+  opts.rate_per_sec = rate;
+  // A few CoDel intervals, as in bench_server_sweep's kMinTrial.
+  opts.duration = std::max<std::chrono::milliseconds>(
+      600ms, 3 * DefaultBenchDuration());
+  opts.tenants = 2;
+  opts.tenant_weights = {3.0, 1.0};
+  opts.keys_per_tenant = 1 << 14;
+  opts.zipf_theta = 0.99;
+  opts.put_fraction = 0.1;
+  return opts;
+}
+
+// Capacity per lock, measured at the shards=1 baseline and cached: all
+// shard counts of one lock offer multiples of the SAME number, so their
+// served rates are comparable (same clamp rationale as bench_server_sweep).
+double BaselineCapacity(const std::string& lock) {
+  static std::map<std::string, double> cache;
+  auto it = cache.find(lock);
+  if (it != cache.end()) {
+    return it->second;
+  }
+  std::vector<double> served_rates, gen_rates;
+  for (int burst = 0; burst < 3; ++burst) {
+    KvServer server(ShardedServerConfig(
+        lock, /*shards=*/1,
+        static_cast<std::size_t>(std::max(2, EffectiveCpuCount()))));
+    if (!server.Start()) {
+      return 0.0;
+    }
+    LoadGenOptions load = ShardedLoadConfig(500000.0);
+    load.duration = 400ms;
+    load.seed = 300 + burst;
+    LoadGenerator gen(load);
+    const LoadGenStats stats = gen.Run(server);
+    server.Stop();
+    const double seconds =
+        std::chrono::duration<double>(stats.actual_duration).count();
+    if (seconds <= 0) {
+      continue;
+    }
+    served_rates.push_back(
+        static_cast<double>(server.Aggregate().served) / seconds);
+    gen_rates.push_back(static_cast<double>(stats.offered) / seconds);
+  }
+  if (served_rates.empty()) {
+    return 0.0;
+  }
+  const auto median = [](std::vector<double>& v) {
+    std::sort(v.begin(), v.end());
+    return v[v.size() / 2];
+  };
+  const double capacity =
+      std::min(median(served_rates), 0.5 * median(gen_rates));
+  cache[lock] = capacity;
+  return capacity;
+}
+
+double Us(std::uint64_t ns) { return static_cast<double>(ns) / 1000.0; }
+
+void RunServerPoint(benchmark::State& state, const std::string& lock,
+                    std::size_t shards, std::size_t workers,
+                    double rate_multiple) {
+  const double capacity = BaselineCapacity(lock);
+  if (capacity <= 0.0) {
+    state.SkipWithError("capacity calibration failed");
+    return;
+  }
+  for (auto _ : state) {
+    KvServer server(ShardedServerConfig(lock, shards, workers));
+    if (!server.Start()) {
+      state.SkipWithError("server failed to start");
+      return;
+    }
+    LoadGenerator gen(ShardedLoadConfig(capacity * rate_multiple));
+    const LoadGenStats stats = gen.Run(server);
+    const auto drain_deadline = std::chrono::steady_clock::now() + 2s;
+    while (server.QueueDepth() > 0 &&
+           std::chrono::steady_clock::now() < drain_deadline) {
+      std::this_thread::sleep_for(1ms);
+    }
+    server.Stop();
+    const TenantStats agg = server.Aggregate();
+    const double seconds =
+        std::chrono::duration<double>(stats.actual_duration).count();
+
+    state.SetIterationTime(seconds);
+    state.counters["shards"] = static_cast<double>(shards);
+    state.counters["capacity_per_sec"] = capacity;
+    state.counters["offered_per_sec"] =
+        static_cast<double>(agg.offered) / seconds;
+    state.counters["served_per_sec"] =
+        static_cast<double>(agg.served) / seconds;
+    state.counters["shed_frac"] =
+        agg.offered ? static_cast<double>(agg.shed_total()) /
+                          static_cast<double>(agg.offered)
+                    : 0.0;
+    state.counters["e2e_p50_us"] = Us(agg.e2e_p50);
+    state.counters["e2e_p99_us"] = Us(agg.e2e_p99);
+    state.counters["svc_p99_us"] = Us(agg.svc_p99);
+    state.counters["gen_lag_ms"] =
+        std::chrono::duration<double, std::milli>(stats.max_lag).count();
+  }
+}
+
+void RegisterAll() {
+  const int cpus = EffectiveCpuCount();
+  const int base_threads = std::max(2, cpus);
+  const int over_threads = base_threads * 8;  // the paper's surplus regime
+  const std::vector<std::size_t> shard_counts = {1, 4, 16};
+  const std::vector<std::string> locks = {"mcs-stp", "mcscr-stp"};
+
+  for (const std::string& lock : locks) {
+    for (const std::size_t shards : shard_counts) {
+      for (const int threads : {base_threads, over_threads}) {
+        const std::string name = "AblSharding/kchash/" + lock +
+                                 "/shards:" + std::to_string(shards) +
+                                 "/threads:" + std::to_string(threads);
+        benchmark::RegisterBenchmark(
+            name.c_str(), [lock, shards, threads](benchmark::State& s) {
+              WithLockType(lock, [&]<typename L>() {
+                RunWickedSharded<L>(s, shards, threads);
+              });
+            })
+            ->Iterations(1)
+            ->UseManualTime();
+      }
+    }
+  }
+
+  const auto base_workers = static_cast<std::size_t>(base_threads);
+  for (const std::string& lock : locks) {
+    for (const std::size_t shards : shard_counts) {
+      for (const std::size_t workers : {base_workers, base_workers * 8}) {
+        const std::string name = "AblShardingServer/" + lock +
+                                 "/shards:" + std::to_string(shards) +
+                                 "/workers:" + std::to_string(workers) +
+                                 "/rate:1.5x";
+        benchmark::RegisterBenchmark(
+            name.c_str(), [lock, shards, workers](benchmark::State& s) {
+              RunServerPoint(s, lock, shards, workers, 1.5);
+            })
+            ->Iterations(1)
+            ->UseManualTime();
+      }
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  RegisterAll();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -50,10 +50,13 @@ std::chrono::milliseconds TrialDuration() {
 }
 
 KvServerOptions ServerConfig(const std::string& lock, bool admission,
-                             std::size_t workers) {
+                             std::size_t workers,
+                             const std::string& structure = "lru",
+                             std::size_t shards = 0) {
   KvServerOptions opts;
   opts.lock_name = lock;
-  opts.structure = "lru";  // the paper's LRU-cache workload shape
+  opts.structure = structure;  // default: the paper's LRU-cache workload shape
+  opts.backend_shards = shards;
   opts.workers = workers;
   opts.tenants = 2;
   opts.admission_enabled = admission;
@@ -128,14 +131,20 @@ double MeasuredCapacity(const std::string& lock) {
 double Us(std::uint64_t ns) { return static_cast<double>(ns) / 1000.0; }
 
 void RunSweepPoint(benchmark::State& state, const std::string& lock,
-                   bool admission, std::size_t workers, double rate_multiple) {
+                   bool admission, std::size_t workers, double rate_multiple,
+                   const std::string& structure = "lru",
+                   std::size_t shards = 0) {
+  // Capacity is always the unsharded-lru measurement: the sharded arm's
+  // points face the same offered rate as the baseline arm, so served rates
+  // are directly comparable (the full shards axis lives in
+  // bench_abl_sharding).
   const double capacity = MeasuredCapacity(lock);
   if (capacity <= 0.0) {
     state.SkipWithError("capacity calibration failed");
     return;
   }
   for (auto _ : state) {
-    KvServer server(ServerConfig(lock, admission, workers));
+    KvServer server(ServerConfig(lock, admission, workers, structure, shards));
     if (!server.Start()) {
       state.SkipWithError("server failed to start");
       return;
@@ -200,6 +209,27 @@ void RegisterAll() {
               ->Iterations(1)
               ->UseManualTime();
         }
+      }
+    }
+  }
+
+  // Sharded arm: same pipeline, backend swapped for sharded-lru at 4
+  // partitions, admission on. Offered rates reuse the unsharded capacity so
+  // these points overlay directly on the baseline curves above.
+  for (const std::string lock : {"mcs-stp", "mcscr-stp"}) {
+    for (const std::size_t workers : {base_workers, over_workers}) {
+      for (const double mult : {1.0, 1.5}) {
+        const std::string name =
+            "ServerSweep/sharded-lru/" + lock + "/shards:4/workers:" +
+            std::to_string(workers) + "/rate:" +
+            std::to_string(mult).substr(0, 3) + "x";
+        benchmark::RegisterBenchmark(
+            name.c_str(), [lock, workers, mult](benchmark::State& s) {
+              RunSweepPoint(s, lock, /*admission=*/true, workers, mult,
+                            "sharded-lru", /*shards=*/4);
+            })
+            ->Iterations(1)
+            ->UseManualTime();
       }
     }
   }

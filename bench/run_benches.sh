@@ -29,6 +29,7 @@ benches=(
   bench_abl_spin_budget
   bench_timeout_overhead
   bench_server_sweep
+  bench_abl_sharding
 )
 
 tmpdir="$(mktemp -d)"
@@ -121,6 +122,9 @@ def machine_profile():
     gov = read("/sys/devices/system/cpu/cpu0/cpufreq/scaling_governor")
     if gov:
         prof["cpufreq_governor"] = gov
+    # Shard counts the PR 8 sharding ablation sweeps (bench_abl_sharding);
+    # recorded here so a snapshot is self-describing about its axes.
+    prof["ablation_shard_counts"] = [1, 4, 16]
     return prof
 
 snapshot = {

@@ -5,6 +5,7 @@
 
 namespace malthus {
 
+template class LruCoreT<std::uint64_t>;
 template class SimpleLru<McsSpinLock>;
 template class SimpleLru<McscrStpLock>;
 

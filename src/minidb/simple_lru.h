@@ -9,6 +9,11 @@
 // distinguish self-displacement from displacement by other threads
 // (footnote 33 — "conceptually equivalent to a small shared hardware cache
 // having perfect associativity").
+//
+// The unsynchronized recency machinery lives in LruCoreT so the sharded
+// variant (src/sharded/sharded_lru.h) runs one core per partition;
+// SimpleLru<Lock> is the original single-lock wrapper over one core — the
+// shards=1 degenerate case the paper-figure benches keep using.
 #ifndef MALTHUS_SRC_MINIDB_SIMPLE_LRU_H_
 #define MALTHUS_SRC_MINIDB_SIMPLE_LRU_H_
 
@@ -17,45 +22,43 @@
 #include <list>
 #include <map>
 #include <optional>
+#include <utility>
 
 namespace malthus {
 
-template <typename Lock>
-class SimpleLru {
+// Single-threaded LRU core: map + intrusive recency list, no lock, no
+// atomic hit/miss counters (the synchronized wrappers own those; callers
+// derive hit/miss from Lookup's return). Displacement and eviction counters
+// are relaxed atomics written only under the owning wrapper's lock, so
+// cross-shard stats reads need no lock.
+template <typename Value>
+class LruCoreT {
  public:
-  SimpleLru(std::size_t max_size, bool track_displacement = false)
+  explicit LruCoreT(std::size_t max_size, bool track_displacement = false)
       : max_size_(max_size), track_displacement_(track_displacement) {}
-  SimpleLru(const SimpleLru&) = delete;
-  SimpleLru& operator=(const SimpleLru&) = delete;
+  LruCoreT(const LruCoreT&) = delete;
+  LruCoreT& operator=(const LruCoreT&) = delete;
 
   // Returns the cached value, promoting the entry; nullopt on miss.
-  std::optional<std::uint64_t> Lookup(std::uint64_t key, std::uint32_t /*tid*/ = 0) {
-    lock_.lock();
+  std::optional<Value> Lookup(std::uint64_t key) {
     auto it = map_.find(key);
     if (it == map_.end()) {
-      lock_.unlock();
-      misses_.fetch_add(1, std::memory_order_relaxed);
       return std::nullopt;
     }
     lru_.splice(lru_.begin(), lru_, it->second.lru_it);
-    const std::uint64_t value = it->second.value;
-    lock_.unlock();
-    hits_.fetch_add(1, std::memory_order_relaxed);
-    return value;
+    return it->second.value;
   }
 
   // Inserts/overwrites, trimming the tail beyond capacity.
-  void Insert(std::uint64_t key, std::uint64_t value, std::uint32_t tid = 0) {
-    lock_.lock();
+  void Insert(std::uint64_t key, Value value, std::uint32_t tid = 0) {
     auto it = map_.find(key);
     if (it != map_.end()) {
-      it->second.value = value;
+      it->second.value = std::move(value);
       lru_.splice(lru_.begin(), lru_, it->second.lru_it);
-      lock_.unlock();
       return;
     }
     lru_.push_front(Entry{key, tid});
-    map_.emplace(key, Mapped{value, lru_.begin()});
+    map_.emplace(key, Mapped{std::move(value), lru_.begin()});
     while (map_.size() > max_size_) {
       const Entry& victim = lru_.back();
       if (track_displacement_) {
@@ -65,26 +68,85 @@ class SimpleLru {
           extrinsic_displacements_.fetch_add(1, std::memory_order_relaxed);
         }
       }
+      evictions_.fetch_add(1, std::memory_order_relaxed);
       map_.erase(victim.key);
       lru_.pop_back();
     }
+  }
+
+  std::size_t Size() const { return map_.size(); }
+  std::size_t capacity() const { return max_size_; }
+
+  std::uint64_t evictions() const { return evictions_.load(std::memory_order_relaxed); }
+  std::uint64_t self_displacements() const {
+    return self_displacements_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t extrinsic_displacements() const {
+    return extrinsic_displacements_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Entry {
+    std::uint64_t key;
+    std::uint32_t installer_tid;
+  };
+  struct Mapped {
+    Value value;
+    typename std::list<Entry>::iterator lru_it;
+  };
+
+  const std::size_t max_size_;
+  const bool track_displacement_;
+  std::map<std::uint64_t, Mapped> map_;
+  std::list<Entry> lru_;
+  std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> self_displacements_{0};
+  std::atomic<std::uint64_t> extrinsic_displacements_{0};
+};
+
+using LruCore = LruCoreT<std::uint64_t>;
+
+template <typename Lock>
+class SimpleLru {
+ public:
+  explicit SimpleLru(std::size_t max_size, bool track_displacement = false)
+      : core_(max_size, track_displacement) {}
+  SimpleLru(const SimpleLru&) = delete;
+  SimpleLru& operator=(const SimpleLru&) = delete;
+
+  // Returns the cached value, promoting the entry; nullopt on miss.
+  std::optional<std::uint64_t> Lookup(std::uint64_t key, std::uint32_t /*tid*/ = 0) {
+    lock_.lock();
+    const auto value = core_.Lookup(key);
+    lock_.unlock();
+    if (value.has_value()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return value;
+  }
+
+  // Inserts/overwrites, trimming the tail beyond capacity.
+  void Insert(std::uint64_t key, std::uint64_t value, std::uint32_t tid = 0) {
+    lock_.lock();
+    core_.Insert(key, value, tid);
     lock_.unlock();
   }
 
   std::size_t Size() {
     lock_.lock();
-    const std::size_t s = map_.size();
+    const std::size_t s = core_.Size();
     lock_.unlock();
     return s;
   }
 
   std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
   std::uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
-  std::uint64_t self_displacements() const {
-    return self_displacements_.load(std::memory_order_relaxed);
-  }
+  std::uint64_t evictions() const { return core_.evictions(); }
+  std::uint64_t self_displacements() const { return core_.self_displacements(); }
   std::uint64_t extrinsic_displacements() const {
-    return extrinsic_displacements_.load(std::memory_order_relaxed);
+    return core_.extrinsic_displacements();
   }
   double MissRate() const {
     const double total = static_cast<double>(hits() + misses());
@@ -94,24 +156,10 @@ class SimpleLru {
   Lock& lock() { return lock_; }
 
  private:
-  struct Entry {
-    std::uint64_t key;
-    std::uint32_t installer_tid;
-  };
-  struct Mapped {
-    std::uint64_t value;
-    typename std::list<Entry>::iterator lru_it;
-  };
-
-  const std::size_t max_size_;
-  const bool track_displacement_;
   Lock lock_;
-  std::map<std::uint64_t, Mapped> map_;
-  std::list<Entry> lru_;
+  LruCore core_;
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
-  std::atomic<std::uint64_t> self_displacements_{0};
-  std::atomic<std::uint64_t> extrinsic_displacements_{0};
 };
 
 }  // namespace malthus

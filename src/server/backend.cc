@@ -16,9 +16,19 @@
 #include "src/minidb/minidb.h"
 #include "src/minidb/simple_lru.h"
 #include "src/platform/sysinfo.h"
+#include "src/sharded/sharded_kchash.h"
+#include "src/sharded/sharded_lru.h"
+#include "src/sharded/sharded_table.h"
 
 namespace malthus {
 namespace {
+
+// Shared sizing across the backend family so throughput comparisons across
+// {structure × lock × shards} hold the working set constant.
+constexpr std::size_t kMiniDbCacheBlocks = 4096;
+constexpr std::size_t kKcHashBuckets = 1 << 16;
+constexpr std::size_t kKcHashCapacity = 1 << 15;
+constexpr std::size_t kLruCapacity = 1 << 15;
 
 std::string EncodeValue(std::uint64_t value) {
   return std::string(reinterpret_cast<const char*>(&value), sizeof(value));
@@ -33,14 +43,14 @@ std::uint64_t DecodeValue(const std::string& s) {
 template <typename Lock>
 class MiniDbBackend final : public KvBackend {
  public:
-  explicit MiniDbBackend(std::string name)
-      : name_(std::move(name)), db_(/*cache_blocks=*/4096) {}
+  MiniDbBackend(std::string name, std::size_t shards)
+      : name_(std::move(name)), db_(kMiniDbCacheBlocks, shards) {}
 
-  void Put(std::uint64_t key, std::uint64_t value) override {
+  void Put(std::uint64_t key, std::uint64_t value, std::uint32_t /*tid*/) override {
     db_.Put(key, EncodeValue(value));
   }
-  bool Get(std::uint64_t key, std::uint64_t* value) override {
-    auto v = db_.Get(key);
+  bool Get(std::uint64_t key, std::uint64_t* value, std::uint32_t tid) override {
+    auto v = db_.Get(key, tid);
     if (!v.has_value()) {
       return false;
     }
@@ -48,6 +58,11 @@ class MiniDbBackend final : public KvBackend {
     return true;
   }
   std::string name() const override { return name_; }
+  Displacement displacement() const override {
+    return {db_.block_cache().self_displacements(),
+            db_.block_cache().extrinsic_displacements()};
+  }
+  std::size_t shards() const override { return db_.block_cache().shard_count(); }
 
  private:
   std::string name_;
@@ -58,13 +73,12 @@ template <typename Lock>
 class KcHashBackend final : public KvBackend {
  public:
   explicit KcHashBackend(std::string name)
-      : name_(std::move(name)),
-        db_(/*bucket_count=*/1 << 16, /*capacity=*/1 << 15) {}
+      : name_(std::move(name)), db_(kKcHashBuckets, kKcHashCapacity) {}
 
-  void Put(std::uint64_t key, std::uint64_t value) override {
+  void Put(std::uint64_t key, std::uint64_t value, std::uint32_t /*tid*/) override {
     db_.Set(key, EncodeValue(value));
   }
-  bool Get(std::uint64_t key, std::uint64_t* value) override {
+  bool Get(std::uint64_t key, std::uint64_t* value, std::uint32_t /*tid*/) override {
     auto v = db_.Get(key);
     if (!v.has_value()) {
       return false;
@@ -80,26 +94,54 @@ class KcHashBackend final : public KvBackend {
 };
 
 template <typename Lock>
+class ShardedKcHashBackend final : public KvBackend {
+ public:
+  ShardedKcHashBackend(std::string name, std::size_t shards)
+      : name_(std::move(name)), db_(kKcHashBuckets, kKcHashCapacity, shards) {}
+
+  void Put(std::uint64_t key, std::uint64_t value, std::uint32_t /*tid*/) override {
+    db_.Set(key, EncodeValue(value));
+  }
+  bool Get(std::uint64_t key, std::uint64_t* value, std::uint32_t /*tid*/) override {
+    auto v = db_.Get(key);
+    if (!v.has_value()) {
+      return false;
+    }
+    *value = DecodeValue(*v);
+    return true;
+  }
+  std::string name() const override { return name_; }
+  std::size_t shards() const override { return db_.shard_count(); }
+
+ private:
+  std::string name_;
+  ShardedKcHash<Lock> db_;
+};
+
+template <typename Lock>
 class LruBackend final : public KvBackend {
  public:
   explicit LruBackend(std::string name)
-      : name_(std::move(name)), cache_(/*max_size=*/1 << 15) {}
+      : name_(std::move(name)), cache_(kLruCapacity, /*track_displacement=*/true) {}
 
-  void Put(std::uint64_t key, std::uint64_t value) override {
-    cache_.Insert(key, value);
+  void Put(std::uint64_t key, std::uint64_t value, std::uint32_t tid) override {
+    cache_.Insert(key, value, tid);
   }
-  bool Get(std::uint64_t key, std::uint64_t* value) override {
-    auto v = cache_.Lookup(key);
+  bool Get(std::uint64_t key, std::uint64_t* value, std::uint32_t tid) override {
+    auto v = cache_.Lookup(key, tid);
     if (!v.has_value()) {
       // Miss installs the key itself — the paper's LRUCache workload, where
       // a miss costs exactly one erase + one insert.
-      cache_.Insert(key, key);
+      cache_.Insert(key, key, tid);
       return false;
     }
     *value = *v;
     return true;
   }
   std::string name() const override { return name_; }
+  Displacement displacement() const override {
+    return {cache_.self_displacements(), cache_.extrinsic_displacements()};
+  }
 
  private:
   std::string name_;
@@ -107,10 +149,41 @@ class LruBackend final : public KvBackend {
 };
 
 template <typename Lock>
+class ShardedLruBackend final : public KvBackend {
+ public:
+  ShardedLruBackend(std::string name, std::size_t shards)
+      : name_(std::move(name)),
+        cache_(kLruCapacity, shards, /*track_displacement=*/true) {}
+
+  void Put(std::uint64_t key, std::uint64_t value, std::uint32_t tid) override {
+    cache_.Insert(key, value, tid);
+  }
+  bool Get(std::uint64_t key, std::uint64_t* value, std::uint32_t tid) override {
+    auto v = cache_.Lookup(key, tid);
+    if (!v.has_value()) {
+      cache_.Insert(key, key, tid);
+      return false;
+    }
+    *value = *v;
+    return true;
+  }
+  std::string name() const override { return name_; }
+  Displacement displacement() const override {
+    return {cache_.self_displacements(), cache_.extrinsic_displacements()};
+  }
+  std::size_t shards() const override { return cache_.shard_count(); }
+
+ private:
+  std::string name_;
+  ShardedLru<Lock> cache_;
+};
+
+template <typename Lock>
 std::unique_ptr<KvBackend> MakeWithLock(const std::string& structure,
-                                        const std::string& full_name) {
+                                        const std::string& full_name,
+                                        std::size_t shards) {
   if (structure == "minidb") {
-    return std::make_unique<MiniDbBackend<Lock>>(full_name);
+    return std::make_unique<MiniDbBackend<Lock>>(full_name, /*shards=*/1);
   }
   if (structure == "kchash") {
     return std::make_unique<KcHashBackend<Lock>>(full_name);
@@ -118,55 +191,67 @@ std::unique_ptr<KvBackend> MakeWithLock(const std::string& structure,
   if (structure == "lru") {
     return std::make_unique<LruBackend<Lock>>(full_name);
   }
+  const std::size_t n = shards == 0 ? DefaultShardCount() : shards;
+  if (structure == "sharded-minidb") {
+    return std::make_unique<MiniDbBackend<Lock>>(full_name, n);
+  }
+  if (structure == "sharded-kchash") {
+    return std::make_unique<ShardedKcHashBackend<Lock>>(full_name, n);
+  }
+  if (structure == "sharded-lru") {
+    return std::make_unique<ShardedLruBackend<Lock>>(full_name, n);
+  }
   return nullptr;
 }
 
 }  // namespace
 
 std::unique_ptr<KvBackend> MakeBackend(const std::string& structure,
-                                       const std::string& lock_name) {
+                                       const std::string& lock_name,
+                                       std::size_t shards) {
   const std::string full = structure + "/" + lock_name;
   // Throttled variants: CR imposed outside the lock (§A.1). The K is the
   // saturation-oriented static choice — the host's effective parallelism.
   if (lock_name.rfind("throttled-", 0) == 0) {
     const std::string inner = lock_name.substr(10);
     if (inner == "mcs-stp") {
-      return MakeWithLock<ThrottledLock<McsStpLock>>(structure, full);
+      return MakeWithLock<ThrottledLock<McsStpLock>>(structure, full, shards);
     }
     if (inner == "tas") {
-      return MakeWithLock<ThrottledLock<TtasLock>>(structure, full);
+      return MakeWithLock<ThrottledLock<TtasLock>>(structure, full, shards);
     }
     if (inner == "pthread-style") {
-      return MakeWithLock<ThrottledLock<PthreadStyleMutex>>(structure, full);
+      return MakeWithLock<ThrottledLock<PthreadStyleMutex>>(structure, full, shards);
     }
     return nullptr;
   }
   if (lock_name == "tas") {
-    return MakeWithLock<TtasLock>(structure, full);
+    return MakeWithLock<TtasLock>(structure, full, shards);
   }
   if (lock_name == "ticket") {
-    return MakeWithLock<TicketLock>(structure, full);
+    return MakeWithLock<TicketLock>(structure, full, shards);
   }
   if (lock_name == "pthread-style") {
-    return MakeWithLock<PthreadStyleMutex>(structure, full);
+    return MakeWithLock<PthreadStyleMutex>(structure, full, shards);
   }
   if (lock_name == "mcs-stp") {
-    return MakeWithLock<McsStpLock>(structure, full);
+    return MakeWithLock<McsStpLock>(structure, full, shards);
   }
   if (lock_name == "mcscr-stp") {
-    return MakeWithLock<McscrStpLock>(structure, full);
+    return MakeWithLock<McscrStpLock>(structure, full, shards);
   }
   if (lock_name == "mcscrn-stp") {
-    return MakeWithLock<McscrnStpLock>(structure, full);
+    return MakeWithLock<McscrnStpLock>(structure, full, shards);
   }
   if (lock_name == "lifocr-stp") {
-    return MakeWithLock<LifoCrStpLock>(structure, full);
+    return MakeWithLock<LifoCrStpLock>(structure, full, shards);
   }
   return nullptr;
 }
 
 std::vector<std::string> BackendStructureNames() {
-  return {"minidb", "kchash", "lru"};
+  return {"minidb",         "kchash",         "lru",
+          "sharded-minidb", "sharded-kchash", "sharded-lru"};
 }
 
 std::vector<std::string> BackendLockNames() {

@@ -1,13 +1,14 @@
 // Type-erased KV backend: the hot shared structure the server's workers
-// contend on. Implementations front the repo's existing single-global-lock
-// data structures — minidb (memtable + block cache), kchash (Kyoto-style
-// hash cache), simple_lru (CEPH-style LRU) — parameterized by lock registry
-// name, so the sweep harness swaps {structure × lock algorithm} the way the
-// figure benches do.
+// contend on. Implementations front the repo's data structures — minidb
+// (memtable + block cache), kchash (Kyoto-style hash cache), simple_lru
+// (CEPH-style LRU) — in both the original single-global-lock form and the
+// PR 8 sharded form (ShardedTable partitions, one Malthusian lock per
+// shard), parameterized by lock registry name, so the sweep harness swaps
+// {structure × lock algorithm × shard count} the way the figure benches do.
 //
 // The virtual-call overhead is identical across variants (the any_lock.h
-// argument), so relative comparisons across locks and admission settings
-// are unaffected.
+// argument), so relative comparisons across locks, shard counts, and
+// admission settings are unaffected.
 #ifndef MALTHUS_SRC_SERVER_BACKEND_H_
 #define MALTHUS_SRC_SERVER_BACKEND_H_
 
@@ -22,20 +23,37 @@ class KvBackend {
  public:
   virtual ~KvBackend() = default;
 
-  virtual void Put(std::uint64_t key, std::uint64_t value) = 0;
+  // `tid` is the calling worker's dense thread id (Self().id); cache-style
+  // backends use it to attribute displacement (footnote 33 — who evicted
+  // whose entry). Pass 0 when the caller has no meaningful identity.
+  virtual void Put(std::uint64_t key, std::uint64_t value, std::uint32_t tid) = 0;
   // Returns true on hit; on miss implementations may install the key
   // (cache-fill semantics, matching the paper's LRU workload).
-  virtual bool Get(std::uint64_t key, std::uint64_t* value) = 0;
+  virtual bool Get(std::uint64_t key, std::uint64_t* value, std::uint32_t tid) = 0;
   virtual std::string name() const = 0;
+
+  // Footnote-33 displacement statistics, where the structure tracks them
+  // (the LRU-backed structures). Zeros elsewhere.
+  struct Displacement {
+    std::uint64_t self = 0;
+    std::uint64_t extrinsic = 0;
+  };
+  virtual Displacement displacement() const { return {}; }
+  // Shard count of the underlying structure (1 for the unsharded classes).
+  virtual std::size_t shards() const { return 1; }
 };
 
-// Known structures: "minidb", "kchash", "lru". Lock names are the any_lock
-// registry subset usable as a structure mutex, plus "throttled-<name>"
-// variants that wrap the lock in ThrottledLock (CR imposed outside the
-// lock, paper §A.1) — e.g. "throttled-mcs-stp". Returns nullptr for
-// unknown combinations.
+// Known structures: "minidb", "kchash", "lru" (the original single-lock
+// classes) plus "sharded-minidb", "sharded-kchash", "sharded-lru" (the
+// ShardedTable variants; `shards` picks the partition count, 0 =
+// DefaultShardCount(), values are rounded up to a power of two). Lock
+// names are the any_lock registry subset usable as a structure mutex, plus
+// "throttled-<name>" variants that wrap the lock in ThrottledLock (CR
+// imposed outside the lock, paper §A.1) — e.g. "throttled-mcs-stp".
+// Returns nullptr for unknown combinations.
 std::unique_ptr<KvBackend> MakeBackend(const std::string& structure,
-                                       const std::string& lock_name);
+                                       const std::string& lock_name,
+                                       std::size_t shards = 0);
 
 // Structures and lock names MakeBackend accepts, for sweep registration.
 std::vector<std::string> BackendStructureNames();

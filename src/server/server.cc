@@ -28,7 +28,7 @@ bool KvServer::Start() {
   if (running_) {
     return true;
   }
-  backend_ = MakeBackend(opts_.structure, opts_.lock_name);
+  backend_ = MakeBackend(opts_.structure, opts_.lock_name, opts_.backend_shards);
   if (backend_ == nullptr) {
     return false;
   }
@@ -158,13 +158,17 @@ void KvServer::ServeOne(const ServerRequest& request,
     }
     gated = true;
   }
+  // The worker's dense thread id rides into the backend so cache-style
+  // structures can attribute displacement (footnote 33): who evicted whose
+  // entry is meaningful only if every server worker passes its real tid.
+  const std::uint32_t tid = Self().id;
   std::uint64_t value = 0;
   if (request.op == ServerRequest::Op::kGet) {
-    if (backend_->Get(request.key, &value)) {
+    if (backend_->Get(request.key, &value, tid)) {
       t.get_hits.fetch_add(1, std::memory_order_relaxed);
     }
   } else {
-    backend_->Put(request.key, request.value);
+    backend_->Put(request.key, request.value, tid);
   }
   if (gated) {
     // Anticipatory handover: start the head gate-waiter's wakeup before the

@@ -78,9 +78,12 @@ struct KvServerOptions {
   // forever.
   std::chrono::nanoseconds gate_timeout{std::chrono::milliseconds(100)};
 
-  // Backend selection (see backend.h).
+  // Backend selection (see backend.h). `backend_shards` applies to the
+  // "sharded-*" structures: partition count for the ShardedTable layer
+  // (0 = DefaultShardCount(), rounded up to a power of two).
   std::string structure = "minidb";
   std::string lock_name = "mcs-stp";
+  std::size_t backend_shards = 0;
 
   std::uint32_t tenants = 1;
 };

@@ -1,0 +1,100 @@
+// ShardedLru — SimpleLru's recency semantics spread over N partitions.
+//
+// Each shard runs its own LruCoreT (recency list + map) behind its own
+// registry-pluggable lock, with per-shard capacity = total/N: the recency
+// order is per-shard, so an entry can only displace entries that hash to
+// its own partition. That is the standard sharded-cache approximation of
+// global LRU (memcached, leveldb's ShardedLRUCache): hot keys spread across
+// shards, and the aggregate hit rate converges to the global-LRU rate as
+// long as per-shard capacity stays well above the hot set per shard.
+// shards=1 degenerates to exactly SimpleLru's behavior.
+//
+// Displacement statistics (footnote 33) remain meaningful per shard: the
+// installer tid rides with each entry, so self- vs extrinsic-displacement
+// is attributed within the partition where the displacement happened.
+#ifndef MALTHUS_SRC_SHARDED_SHARDED_LRU_H_
+#define MALTHUS_SRC_SHARDED_SHARDED_LRU_H_
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+
+#include "src/minidb/simple_lru.h"
+#include "src/sharded/sharded_table.h"
+
+namespace malthus {
+
+template <typename Lock, typename Value = std::uint64_t>
+class ShardedLru {
+ public:
+  using Core = LruCoreT<Value>;
+
+  // `max_size` is the whole-table capacity; each of the (power-of-two
+  // normalized) shards holds ceil(max_size / shards).
+  ShardedLru(std::size_t max_size, std::size_t shards,
+             bool track_displacement = false)
+      : table_(shards, PerShardShare(max_size, NormalizeShardCount(shards)),
+               track_displacement) {}
+
+  std::optional<Value> Lookup(std::uint64_t key, std::uint32_t /*tid*/ = 0) {
+    return table_.WithShard(key, [&](Core& core, ShardCounters& c) {
+      auto value = core.Lookup(key);
+      if (value.has_value()) {
+        c.hits.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        c.misses.fetch_add(1, std::memory_order_relaxed);
+      }
+      return value;
+    });
+  }
+
+  void Insert(std::uint64_t key, Value value, std::uint32_t tid = 0) {
+    table_.WithShard(key, [&](Core& core, ShardCounters& c) {
+      core.Insert(key, std::move(value), tid);
+      c.size.store(core.Size(), std::memory_order_relaxed);
+      c.evictions.store(core.evictions(), std::memory_order_relaxed);
+    });
+  }
+
+  // Best-effort aggregate size (sum of relaxed per-shard counters).
+  std::size_t Size() const { return table_.AggregateStats().size; }
+
+  std::uint64_t hits() const { return table_.AggregateStats().hits; }
+  std::uint64_t misses() const { return table_.AggregateStats().misses; }
+  std::uint64_t evictions() const { return table_.AggregateStats().evictions; }
+  double MissRate() const {
+    const auto stats = table_.AggregateStats();
+    const double total = static_cast<double>(stats.hits + stats.misses);
+    return total == 0 ? 0.0 : static_cast<double>(stats.misses) / total;
+  }
+
+  // Displacement counters are relaxed atomics in the cores, so the sums
+  // need no locks (best-effort snapshot, like the other aggregates).
+  std::uint64_t self_displacements() const {
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < table_.shard_count(); ++i) {
+      total += table_.shard_core(i).self_displacements();
+    }
+    return total;
+  }
+  std::uint64_t extrinsic_displacements() const {
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < table_.shard_count(); ++i) {
+      total += table_.shard_core(i).extrinsic_displacements();
+    }
+    return total;
+  }
+
+  std::size_t shard_count() const { return table_.shard_count(); }
+  std::size_t ShardIndex(std::uint64_t key) const { return table_.ShardIndex(key); }
+  Lock& shard_lock(std::size_t index) { return table_.shard_lock(index); }
+
+  ShardedTable<Core, Lock>& table() { return table_; }
+
+ private:
+  ShardedTable<Core, Lock> table_;
+};
+
+}  // namespace malthus
+
+#endif  // MALTHUS_SRC_SHARDED_SHARDED_LRU_H_

@@ -1,0 +1,24 @@
+#include "src/sharded/sharded_table.h"
+
+#include "src/platform/sysinfo.h"
+
+namespace malthus {
+
+std::size_t NormalizeShardCount(std::size_t requested) {
+  if (requested <= 1) {
+    return 1;
+  }
+  std::size_t n = 1;
+  while (n < requested) {
+    n <<= 1;
+  }
+  return n;
+}
+
+std::size_t DefaultShardCount() {
+  const int cpus = EffectiveCpuCount();
+  std::size_t n = NormalizeShardCount(cpus > 0 ? static_cast<std::size_t>(cpus) : 1);
+  return n > 64 ? 64 : n;
+}
+
+}  // namespace malthus

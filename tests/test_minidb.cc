@@ -221,5 +221,77 @@ TEST(MiniDb, ReadWhileWritingIsLinearizableEnough) {
   EXPECT_GT(db.writes(), 0u);
 }
 
+TEST(MiniDb, CacheHitServesWithoutDbMutex) {
+  // The PR 8 satellite fix: a fresh cached block serves the value with no
+  // DB-mutex acquisition (leveldb behavior — table blocks are immutable).
+  // Warm the cache, seize the DB mutex from this thread, and a reader must
+  // still complete a Get on the warmed key.
+  MiniDb<McsSpinLock> db(128);
+  db.Put(1, "warm");
+  ASSERT_TRUE(db.Get(1).has_value());  // fill the block
+  const std::uint64_t hits_before = db.cache_hits();
+
+  db.db_mutex().lock();
+  std::atomic<bool> done{false};
+  std::string observed;
+  std::thread reader([&] {
+    const auto v = db.Get(1);
+    observed = v.value_or("<missing>");
+    done.store(true, std::memory_order_release);
+  });
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (!done.load(std::memory_order_acquire) &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
+  }
+  const bool completed = done.load(std::memory_order_acquire);
+  // Unlock before asserting so a regression (hit path retaking the DB
+  // mutex) reports a clean failure instead of deadlocking the test.
+  db.db_mutex().unlock();
+  reader.join();
+  EXPECT_TRUE(completed) << "Get on a warm cached key blocked on the DB "
+                            "mutex — the hit path must bypass it";
+  EXPECT_EQ(observed, "warm");
+  EXPECT_EQ(db.cache_hits(), hits_before + 1);
+}
+
+TEST(MiniDb, StaleCachedBlockRefillsAfterWrite) {
+  // Generation invalidation: a Put to any key in a cached block makes the
+  // cached fill stale; the next Get must refill and return the new value.
+  MiniDb<McsSpinLock> db(128);
+  db.Put(32, "old");
+  ASSERT_EQ(*db.Get(32), "old");          // block cached, generation stamped
+  ASSERT_EQ(*db.Get(32), "old");          // served from cache
+  const std::uint64_t stale_before = db.stale_refills();
+  db.Put(33, "neighbor");                 // same block (kBlockSpan = 16)
+  EXPECT_EQ(*db.Get(32), "old");          // refill — but value unchanged
+  EXPECT_EQ(db.stale_refills(), stale_before + 1);
+  db.Put(32, "new");
+  EXPECT_EQ(*db.Get(32), "new");          // never the stale "old"
+  EXPECT_EQ(*db.Get(32), "new");          // and the refreshed fill now hits
+}
+
+TEST(MiniDb, ShardedBlockCacheKeepsRoundTripSemantics) {
+  // cache_shards > 1 partitions only the block cache; DB semantics are
+  // unchanged and displacement tracking still attributes per tid.
+  MiniDb<McsSpinLock> db(/*cache_blocks=*/64, /*cache_shards=*/4);
+  EXPECT_EQ(db.block_cache().shard_count(), 4u);
+  for (std::uint64_t k = 0; k < 4096; ++k) {
+    db.Put(k, std::to_string(k));
+  }
+  XorShift64 rng(9);
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t k = rng.NextBelow(4096);
+    ASSERT_EQ(*db.Get(k, static_cast<std::uint32_t>(rng.NextBelow(4))),
+              std::to_string(k));
+  }
+  // 4096 keys / 16 per block = 256 blocks over a 64-block cache: evictions
+  // and (random tids) both displacement kinds must have fired.
+  EXPECT_GT(db.block_cache().evictions(), 0u);
+  EXPECT_GT(db.block_cache().self_displacements() +
+                db.block_cache().extrinsic_displacements(),
+            0u);
+}
+
 }  // namespace
 }  // namespace malthus
