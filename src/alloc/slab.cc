@@ -1,0 +1,29 @@
+#include "src/alloc/slab.h"
+
+namespace malthus {
+namespace {
+
+// Bytes currently reserved across all SlabAllocator instances. Signed ops
+// are avoided: Add/Sub are balanced by construction (every slab freed in a
+// destructor was counted when carved).
+std::atomic<std::size_t> g_slab_bytes{0};
+
+}  // namespace
+
+namespace slab_detail {
+
+void AddReservedBytes(std::size_t n) {
+  g_slab_bytes.fetch_add(n, std::memory_order_relaxed);
+}
+
+void SubReservedBytes(std::size_t n) {
+  g_slab_bytes.fetch_sub(n, std::memory_order_relaxed);
+}
+
+}  // namespace slab_detail
+
+std::size_t TotalSlabBytesReserved() {
+  return g_slab_bytes.load(std::memory_order_relaxed);
+}
+
+}  // namespace malthus

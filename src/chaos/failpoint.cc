@@ -3,6 +3,7 @@
 #include <sched.h>
 
 #include <cstdlib>
+#include <memory>
 #include <mutex>
 #include <unordered_map>
 
@@ -20,11 +21,14 @@ struct Site {
 
 // Registry of sites by name. Guarded by g_mu for structural changes; the
 // hot path never touches it unless at least one site is armed (the
-// g_armed_sites fast-path gate), so a mutex is fine.
+// g_armed_sites fast-path gate), so a mutex is fine. Entries are never
+// erased while the process runs (Reset() disarms in place), so the raw
+// Site* held in each thread's Evaluate() cache stays valid; the by-value
+// static map destroys the Sites at process exit, keeping LSan clean.
 std::mutex g_mu;
-std::unordered_map<std::string, Site*>& Registry() {
-  static auto* r = new std::unordered_map<std::string, Site*>();
-  return *r;
+std::unordered_map<std::string, std::unique_ptr<Site>>& Registry() {
+  static std::unordered_map<std::string, std::unique_ptr<Site>> r;
+  return r;
 }
 
 std::atomic<std::uint64_t> g_seed{0x9e3779b97f4a7c15ull};
@@ -63,13 +67,11 @@ struct ThreadRng {
 
 Site* FindOrCreate(const std::string& name) {
   std::lock_guard<std::mutex> g(g_mu);
-  auto it = Registry().find(name);
-  if (it != Registry().end()) {
-    return it->second;
+  auto [it, inserted] = Registry().try_emplace(name);
+  if (inserted) {
+    it->second = std::make_unique<Site>();
   }
-  Site* s = new Site();  // Sites live for the process; never freed.
-  Registry().emplace(name, s);
-  return s;
+  return it->second.get();
 }
 
 std::uint64_t CountArmed() {

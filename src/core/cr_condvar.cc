@@ -39,9 +39,9 @@ void CrCondVar::Signal() {
     // Chaos: delay between the pop (signal committed) and the state store —
     // the window a timed-out waiter must bridge by spinning.
     MALTHUS_FAILPOINT("condvar.signal");
-    Parker* parker = w->parker;  // Read before the release of w's frame.
+    const ParkerRef wake = w->wake;  // Read before the release of w's frame.
     w->state.store(kSignaled, std::memory_order_release);
-    parker->Unpark();
+    wake.Unpark();
   }
 }
 
@@ -59,12 +59,12 @@ void CrCondVar::Broadcast() {
   count_.store(0, std::memory_order_relaxed);
   Unguard();
   while (w != nullptr) {
-    // Read next and parker before the state store: the store releases the
-    // waiter's frame.
+    // Read next and the wake channel before the state store: the store
+    // releases the waiter's frame.
     Waiter* next = w->next;
-    Parker* parker = w->parker;
+    const ParkerRef wake = w->wake;
     w->state.store(kSignaled, std::memory_order_release);
-    parker->Unpark();
+    wake.Unpark();
     w = next;
   }
 }

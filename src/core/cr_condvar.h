@@ -51,7 +51,7 @@ class CrCondVar {
   void Wait(Lock& lock) {
     ThreadCtx& self = Self();
     Waiter w;
-    w.parker = &self.parker;
+    w.wake = SelfWakeRef(self);
     Enqueue(&w);
     lock.unlock();
     while (w.state.load(std::memory_order_acquire) == kQueued) {
@@ -77,7 +77,7 @@ class CrCondVar {
   bool WaitUntil(Lock& lock, std::chrono::steady_clock::time_point deadline) {
     ThreadCtx& self = Self();
     Waiter w;
-    w.parker = &self.parker;
+    w.wake = SelfWakeRef(self);
     Enqueue(&w);
     lock.unlock();
     bool signaled = true;
@@ -152,7 +152,10 @@ class CrCondVar {
     std::atomic<std::uint32_t> state{kQueued};
     Waiter* next = nullptr;
     Waiter* prev = nullptr;
-    Parker* parker = nullptr;
+    // Generation-validated wake channel (see CrSemaphore::Waiter): the
+    // signaler's Unpark fires after the kSignaled store, by which time the
+    // waiter may have returned and its thread exited.
+    ParkerRef wake;
     // Guard-protected: true while linked. Cleared by the committing
     // Signal()/Broadcast(), so a timed-out waiter can tell whether a signal
     // is already in flight to it.

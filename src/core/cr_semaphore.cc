@@ -8,7 +8,7 @@ namespace malthus {
 void CrSemaphore::Wait() {
   ThreadCtx& self = Self();
   Waiter w;
-  w.parker = &self.parker;
+  w.wake = SelfWakeRef(self);
 
   Guard();
   if (count_ > 0) {
@@ -42,7 +42,7 @@ void CrSemaphore::Wait() {
 bool CrSemaphore::TryWaitUntil(std::chrono::steady_clock::time_point deadline) {
   ThreadCtx& self = Self();
   Waiter w;
-  w.parker = &self.parker;
+  w.wake = SelfWakeRef(self);
 
   Guard();
   if (count_ > 0) {
@@ -128,24 +128,27 @@ void CrSemaphore::Post() {
     // Chaos: delay between the pop (permit committed) and the grant store —
     // the window a timed-out waiter must bridge by spinning.
     MALTHUS_FAILPOINT("sem.post");
-    Parker* parker = w->parker;  // w's frame may die once state is stored.
+    // w's frame may die once state is stored, and the waiter's thread may
+    // even exit before the Unpark below fires; the copied ParkerRef keeps
+    // the wake generation-validated.
+    const ParkerRef wake = w->wake;
     // Release pairs with the waiter's acquire load of w->state: the permit
     // handoff (and any state the poster published before Post) becomes
     // visible before the waiter returns from Wait().
     w->state.store(kGrantedPermit, std::memory_order_release);
-    parker->Unpark();
+    wake.Unpark();
   }
 }
 
 void CrSemaphore::PreparePost() {
   // The hint is posted while holding the guard: a queued waiter can only be
   // granted (and its thread only exit) through Post(), which also needs the
-  // guard, so head_->parker cannot be torn down under us. The cost is at
-  // most one futex syscall inside the guard — acceptable for a hint that
-  // exists to move that same syscall off the Post() path.
+  // guard, so the head waiter is pinned under us. The cost is at most one
+  // futex syscall inside the guard — acceptable for a hint that exists to
+  // move that same syscall off the Post() path.
   Guard();
   if (head_ != nullptr) {
-    head_->parker->WakeAhead();
+    head_->wake.WakeAhead();
   }
   Unguard();
 }

@@ -84,7 +84,12 @@ class CrSemaphore {
     std::atomic<std::uint32_t> state{kQueued};
     Waiter* next = nullptr;
     Waiter* prev = nullptr;
-    Parker* parker = nullptr;
+    // Generation-validated wake channel: the Waiter frame itself is
+    // stack-pinned until the grant resolves, but the poster's Unpark fires
+    // *after* the grant store — by which time the waiter may have returned
+    // and its thread exited. The ParkerRef makes that late wake a no-op
+    // instead of a dangling Parker poke.
+    ParkerRef wake;
     // Guard-protected: true while linked in the wait list. Cleared by the
     // popping Post(), so a timed-out waiter can tell whether a permit has
     // already been committed to it.

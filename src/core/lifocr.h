@@ -163,7 +163,7 @@ class LifoCrLock {
       if (cur == kFree || cur == kHeldNoWaiters) {
         return;
       }
-      reinterpret_cast<QNode*>(cur)->parker->WakeAhead();
+      reinterpret_cast<QNode*>(cur)->wake_ref().WakeAhead();
     }
   }
 
@@ -286,15 +286,15 @@ class LifoCrLock {
 
   // Commits the grant iff the (already unlinked) node has not cancelled.
   // On success the waiter may recycle `node` immediately, so the wake goes
-  // through the pre-read parker, never through the node. Release pairs with
-  // the waiter's acquire load in Await. On failure the caller owns the husk
-  // and must reclaim it.
+  // through the pre-read, generation-validated ParkerRef, never through the
+  // node. Release pairs with the waiter's acquire load in Await. On failure
+  // the caller owns the husk and must reclaim it.
   bool TryGrant(QNode* node) {
-    Parker* parker = node->parker;
+    const ParkerRef wake = node->wake_ref();
     std::uint32_t expected = kWaiting;
     if (node->status.compare_exchange_strong(expected, kGranted, std::memory_order_release,
                                              std::memory_order_relaxed)) {
-      WaitPolicy::Wake(*parker);
+      WaitPolicy::Wake(wake);
       return true;
     }
     return false;

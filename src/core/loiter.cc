@@ -49,9 +49,12 @@ void LoiterLock::lock() {
   // Slow path: queue on the inner MCS lock; its holder is the standby.
   inner_.lock();
   // Reset the grant word before publishing: a resigned predecessor leaves it
-  // at kGrantCancelled.
+  // at kGrantCancelled. Publish the generation before the ctx pointer (the
+  // release store) so any reader that observes us also observes our gen.
   standby_grant_.store(kGrantWaiting, std::memory_order_relaxed);
-  standby_.store(&self.parker, std::memory_order_release);
+  standby_gen_.store(self.slot_gen.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+  standby_.store(&self, std::memory_order_release);
 
   const auto start = std::chrono::steady_clock::now();
   bool impatient = false;
@@ -121,7 +124,9 @@ bool LoiterLock::TryLockUntil(std::chrono::steady_clock::time_point deadline) {
     return false;
   }
   standby_grant_.store(kGrantWaiting, std::memory_order_relaxed);
-  standby_.store(&self.parker, std::memory_order_release);
+  standby_gen_.store(self.slot_gen.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+  standby_.store(&self, std::memory_order_release);
 
   const auto start = std::chrono::steady_clock::now();
   bool impatient = false;
@@ -146,9 +151,10 @@ bool LoiterLock::TryLockUntil(std::chrono::steady_clock::time_point deadline) {
       }
       // Resigned. Unpublish ourselves, then pass the standby role on; both
       // stores must precede inner_.unlock() so the next standby's publish
-      // is never overwritten. An unlocker that already read our parker may
-      // still post a stale permit — the next standby's timed park absorbs
-      // the at-most-one-round penalty.
+      // is never overwritten. An unlocker that already built our wake ref
+      // may still post a stale permit (our generation is still current
+      // while we live) — the next standby's timed park absorbs the
+      // at-most-one-round penalty.
       standby_.store(nullptr, std::memory_order_release);
       handoff_requested_.store(0, std::memory_order_release);
       inner_.unlock();
@@ -216,9 +222,13 @@ void LoiterLock::PrepareHandover() {
   // standby role and still holds the inner lock, so no new standby can
   // exist yet) instead pre-wakes the inner MCS successor its inner_.unlock()
   // is about to promote to standby.
-  Parker* standby = standby_.load(std::memory_order_acquire);
+  ThreadCtx* standby = standby_.load(std::memory_order_acquire);
   if (standby != nullptr) {
-    standby->WakeAhead();
+    // Generation-validated: if the standby resigned and its thread exited
+    // (recycling the ThreadCtx slot) between our load and the hint, the
+    // ParkerRef check turns the WakeAhead into a no-op instead of a poke
+    // at a recycled parker.
+    ParkerRef(standby, standby_gen_.load(std::memory_order_relaxed)).WakeAhead();
     return;
   }
   if (owner_via_slow_) {
@@ -229,7 +239,7 @@ void LoiterLock::PrepareHandover() {
 void LoiterLock::unlock() {
   const bool via_slow = owner_via_slow_;
 
-  Parker* standby = standby_.load(std::memory_order_acquire);
+  ThreadCtx* standby = standby_.load(std::memory_order_acquire);
   bool handed_off = false;
   if (standby != nullptr && handoff_requested_.load(std::memory_order_acquire) != 0) {
     // Anti-starvation direct handoff: the outer lock stays held; ownership
@@ -238,15 +248,17 @@ void LoiterLock::unlock() {
     // CASed kGrantWaiting -> kGrantCancelled we fall back to the normal
     // release path. (If the standby resigned and a successor republished
     // between our pointer read and the CAS, the grant lands on the new
-    // standby while the unpark may go to the old parker — the new standby
-    // recovers through its timed park within one slice.)
+    // standby while the unpark may target the old one — a stale ref whose
+    // generation check suppresses the wake once that thread exits; the new
+    // standby recovers through its timed park within one slice.)
     MALTHUS_FAILPOINT("loiter.handoff");
+    const ParkerRef wake(standby, standby_gen_.load(std::memory_order_relaxed));
     std::uint32_t expected = kGrantWaiting;
     if (standby_grant_.compare_exchange_strong(expected, kGrantGranted,
                                                std::memory_order_release,
                                                std::memory_order_acquire)) {
       direct_handoffs_.fetch_add(1, std::memory_order_relaxed);
-      standby->Unpark();
+      wake.Unpark();
       handed_off = true;
     }
   }
@@ -254,6 +266,8 @@ void LoiterLock::unlock() {
     outer_.store(kOuterFree, std::memory_order_release);
     standby = standby_.load(std::memory_order_acquire);
     if (standby != nullptr) {
+      const ParkerRef wake(standby, standby_gen_.load(std::memory_order_relaxed));
+      bool skip_unpark = false;
       if (opts_.deferred_unpark) {
         // Defer briefly: a barging fast-path thread may take the lock, in
         // which case succession is delegated to it and the standby can stay
@@ -263,11 +277,11 @@ void LoiterLock::unlock() {
         }
         if (outer_.load(std::memory_order_acquire) != kOuterFree) {
           avoided_unparks_.fetch_add(1, std::memory_order_relaxed);
-          standby = nullptr;
+          skip_unpark = true;
         }
       }
-      if (standby != nullptr) {
-        standby->Unpark();
+      if (!skip_unpark) {
+        wake.Unpark();
       }
     }
   }

@@ -139,8 +139,14 @@ class LoiterLock {
   alignas(kCacheLineSize) std::atomic<std::uint32_t> outer_{kOuterFree};
   McsStpLock inner_;
   // The standby's wake channel & the direct-handoff grant word. Only one
-  // standby exists at a time (it holds the inner lock).
-  std::atomic<Parker*> standby_{nullptr};
+  // standby exists at a time (it holds the inner lock). The channel is a
+  // generation-stamped {ThreadCtx*, gen} pair published as two atomics
+  // (gen first, relaxed; ctx second, release — readers acquire-load ctx
+  // and then read gen). A reader pairing a new ctx with a torn gen can at
+  // worst build a ParkerRef whose validation fails, i.e. a suppressed
+  // wake; the standby's timed park self-heals within one slice.
+  std::atomic<ThreadCtx*> standby_{nullptr};
+  std::atomic<std::uint64_t> standby_gen_{0};
   std::atomic<std::uint32_t> standby_grant_{0};
   std::atomic<std::uint32_t> handoff_requested_{0};
   std::atomic<std::uint32_t> fast_spinners_{0};

@@ -156,7 +156,7 @@ class McscrLock {
         // Likely deficit path: unlock() would re-provision from the PS
         // head. ps_head_ is owner-protected, and we are the owner.
         if (ps_head_ != nullptr) {
-          ps_head_->parker->WakeAhead();
+          ps_head_->wake_ref().WakeAhead();
         }
         return;
       }
@@ -175,7 +175,7 @@ class McscrLock {
         heir = after;
         ++culled;
       }
-      heir->parker->WakeAhead();
+      heir->wake_ref().WakeAhead();
     }
   }
 
@@ -260,27 +260,29 @@ class McscrLock {
         next = after;
       }
       if (opts_.anticipatory_warmup && WaitPolicy::kParks) {
-        // The chain pins `heir` (its thread is waiting), so its Parker is
-        // valid here; a stale permit is benign if it gets culled instead.
+        // The chain pins `heir` (its thread is waiting), so the validated
+        // poke lands on the right tenancy; a stale permit is benign if it
+        // gets culled instead.
         QNode* heir = next->next.load(std::memory_order_acquire);
         if (heir != nullptr) {
           // Plain Unpark, not WakeAhead: warmups_ is this feature's own
           // instrument, and the wake-ahead counters should only tick for
           // callers that opted into PrepareHandover().
-          heir->parker->Unpark();
+          heir->wake_ref().Unpark();
           warmups_.fetch_add(1, std::memory_order_relaxed);
         }
       }
       // Chaos: widen the grant-vs-cancel window before committing.
       MALTHUS_FAILPOINT("mcscr.grant");
-      // Pre-read the wake channel; speculative owner_ store is dead unless
-      // the CAS commits (only the granted thread reads owner_).
-      Parker* parker = next->parker;
+      // Pre-read the generation-validated wake channel; speculative owner_
+      // store is dead unless the CAS commits (only the granted thread reads
+      // owner_).
+      const ParkerRef wake = next->wake_ref();
       owner_ = next;
       std::uint32_t expected = kWaiting;
       if (next->status.compare_exchange_strong(expected, kGranted, std::memory_order_release,
                                                std::memory_order_relaxed)) {
-        WaitPolicy::Wake(*parker);
+        WaitPolicy::Wake(wake);
         Retire(node, me);
         return;
       }
@@ -325,9 +327,9 @@ class McscrLock {
   // keeps the waiter from cancelling mid-splice). The plain release store
   // is safe precisely because the node is claimed.
   void GrantClaimed(QNode* next) {
-    // Pre-read: the waiter may recycle or free its node the moment it
-    // observes the grant flag.
-    Parker* parker = next->parker;
+    // Pre-read: the waiter may recycle its node the moment it observes the
+    // grant flag.
+    const ParkerRef wake = next->wake_ref();
     owner_ = next;
     // Release pairs with the waiter's acquire load of its status: it
     // transfers the critical section, the owner_ handoff above, and all
@@ -335,7 +337,7 @@ class McscrLock {
     // subsequent Wake() needs no ordering of its own — a permit is only a
     // hint and the waiter re-checks the flag.
     next->status.store(kGranted, std::memory_order_release);
-    WaitPolicy::Wake(*parker);
+    WaitPolicy::Wake(wake);
   }
 
   // Disposes the finished chain head: our own node back to the pool, a
@@ -428,6 +430,16 @@ class McscrLock {
   QNode* ClaimPs(bool from_tail) {
     while ((from_tail ? ps_tail_ : ps_head_) != nullptr) {
       QNode* n = from_tail ? PsPopTail() : PsPopHead();
+      // Generation tripwire: a node whose stamping thread has detached can
+      // only be a tombstone (a live waiter pins its ThreadCtx until its
+      // wait resolves — the cancel CAS happens-before the detach), so skip
+      // the kClaimed pin entirely rather than risk pinning a husk whose
+      // owner can never be woken.
+      if (!n->OwnerCurrent()) {
+        cancelled_reclaims_.fetch_add(1, std::memory_order_relaxed);
+        n->status.store(kReclaimed, std::memory_order_release);
+        continue;
+      }
       std::uint32_t expected = kWaiting;
       // Failure acquire pairs with the waiter's release cancel; nothing the
       // claim itself publishes is read before GrantClaimed's release store.

@@ -130,7 +130,7 @@ class McscrnLock {
         // then the remote list. Both are owner-protected.
         QNode* refill = ps_head_ != nullptr ? ps_head_ : remote_head_;
         if (refill != nullptr) {
-          refill->parker->WakeAhead();
+          refill->wake_ref().WakeAhead();
         }
         return;
       }
@@ -154,7 +154,7 @@ class McscrnLock {
         heir = after;
         ++scanned;
       }
-      heir->parker->WakeAhead();
+      heir->wake_ref().WakeAhead();
     }
   }
 
@@ -296,22 +296,24 @@ class McscrnLock {
     if (next->numa_node != me->numa_node) {
       lock_migrations_.fetch_add(1, std::memory_order_relaxed);
     }
-    // Pre-read: the waiter may recycle or free its node the moment it
-    // observes the grant flag.
-    Parker* parker = next->parker;
+    // Pre-read: the waiter may recycle its node the moment it observes the
+    // grant flag.
+    const ParkerRef wake = next->wake_ref();
     owner_ = next;
     // Release pairs with the waiter's acquire in Await(); see McscrLock::
     // GrantClaimed for the full pairing rationale.
     next->status.store(kGranted, std::memory_order_release);
-    WaitPolicy::Wake(*parker);
+    WaitPolicy::Wake(wake);
   }
 
   // Grant attempt for an unclaimed chain node; false if it cancelled (the
   // caller then owns the husk).
   bool TryGrant(QNode* next, QNode* me) {
-    // Pre-read: the waiter may recycle or free its node the moment the
-    // grant CAS lands (and then rewrite numa_node on its next acquisition).
-    Parker* parker = next->parker;
+    // Pre-read: the waiter may recycle its node the moment the grant CAS
+    // lands (and then rewrite numa_node on its next acquisition). Both the
+    // wake channel and numa_node are read while the chain still pins the
+    // node; post-CAS the ParkerRef's generation check guards the wake.
+    const ParkerRef wake = next->wake_ref();
     const std::uint32_t next_numa_node = next->numa_node;
     owner_ = next;
     std::uint32_t expected = kWaiting;
@@ -323,7 +325,7 @@ class McscrnLock {
     if (next_numa_node != me->numa_node) {
       lock_migrations_.fetch_add(1, std::memory_order_relaxed);
     }
-    WaitPolicy::Wake(*parker);
+    WaitPolicy::Wake(wake);
     return true;
   }
 
@@ -341,6 +343,13 @@ class McscrnLock {
   QNode* ClaimPassive(QNode** head, QNode** tail, bool from_tail) {
     while (*head != nullptr) {
       QNode* n = PsPop(head, tail, from_tail ? *tail : *head);
+      // Generation tripwire (see McscrLock::ClaimPs): a node whose stamping
+      // thread has detached can only be a tombstone; never pin it.
+      if (!n->OwnerCurrent()) {
+        cancelled_reclaims_.fetch_add(1, std::memory_order_relaxed);
+        n->status.store(kReclaimed, std::memory_order_release);
+        continue;
+      }
       std::uint32_t expected = kWaiting;
       if (n->status.compare_exchange_strong(expected, kClaimed, std::memory_order_acq_rel,
                                             std::memory_order_acquire)) {

@@ -7,12 +7,23 @@
 // A node is always released by the thread that acquired it, so the pool
 // needs no synchronization. Nodes are cache-line sized so waiters spinning
 // on their own node never share a line (local spinning, §5.4).
+//
+// The per-thread pools are clients of the process-wide QNode slab
+// (alloc/slab.h): pools refill from the slab in batches and hand everything
+// back at thread exit — free nodes directly, cancelled-but-unreclaimed
+// husks via the orphanage (ScavengeOrphanQNodes), so thread churn is
+// memory-flat. Slab memory is type-stable for the life of the process, so
+// a granter's post-grant touch of a recycled node can never fault; the
+// node's generation stamp (slot_gen / ctx_gen) turns it into a logical
+// no-op as well.
 #ifndef MALTHUS_SRC_LOCKS_LOCK_BASE_H_
 #define MALTHUS_SRC_LOCKS_LOCK_BASE_H_
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 
+#include "src/alloc/slab.h"
 #include "src/platform/align.h"
 #include "src/platform/cpu.h"
 #include "src/platform/park.h"
@@ -56,8 +67,16 @@ struct alignas(kCacheLineSize) QNode {
   std::atomic<QNode*> next{nullptr};
   // Grant flag; the waiter local-spins (or spin-then-parks) on this.
   std::atomic<std::uint32_t> status{kWaiting};
-  // Wake channel for parking policies.
-  Parker* parker = nullptr;
+  // Slab tenancy stamp, owned by QNodeSlab() (odd = checked out by some
+  // thread's pool). See alloc/slab.h.
+  std::atomic<std::uint64_t> slot_gen{0};
+  // The waiting thread's context plus the ThreadCtx tenancy observed when
+  // the wait began. Granters never dereference ctx directly — they build a
+  // generation-validated ParkerRef via wake_ref(), so a wake aimed at a
+  // waiter whose thread has since exited (and whose ThreadCtx slot may have
+  // been recycled) is a counted no-op instead of a use-after-free.
+  ThreadCtx* ctx = nullptr;
+  std::uint64_t ctx_gen = 0;
   ThreadId tid = 0;
   // NUMA node id, used only by MCSCRN.
   std::uint32_t numa_node = 0;
@@ -70,10 +89,24 @@ struct alignas(kCacheLineSize) QNode {
   void PrepareForWait(ThreadCtx& self) {
     next.store(nullptr, std::memory_order_relaxed);
     status.store(kWaiting, std::memory_order_relaxed);
-    parker = &self.parker;
+    ctx = &self;
+    ctx_gen = self.slot_gen.load(std::memory_order_relaxed);
     tid = self.id;
     list_next = nullptr;
     list_prev = nullptr;
+  }
+
+  // Wake channel for the thread that prepared this node. Safe to copy out
+  // before a grant CAS and invoke after it.
+  ParkerRef wake_ref() const { return ParkerRef(ctx, ctx_gen); }
+
+  // True while the thread that prepared this node still holds its ThreadCtx
+  // tenancy. A node whose owner has detached can only be a tombstone — a
+  // live waiter pins its ThreadCtx until its wait resolves — so linking
+  // paths (the kClaimed pin) use this as a pre-CAS tripwire.
+  bool OwnerCurrent() const {
+    return ctx != nullptr &&
+           ctx->slot_gen.load(std::memory_order_acquire) == ctx_gen;
   }
 };
 
@@ -99,9 +132,26 @@ std::uint64_t OutstandingZombieQNodes();
 // waiting for the next AcquireQNode(), and returns how many of this
 // thread's zombies remain pinned by a granter. Threads that churn through
 // timed acquisitions and then *exit* (short-lived pool workers) call this
-// in a bounded retry loop before retiring: once it returns 0 the thread's
-// arena can be torn down without leaking husks (see NodeArena::~NodeArena).
+// in a bounded retry loop before retiring: zombies still pinned at arena
+// teardown are handed to the process-wide orphanage rather than leaked
+// (see NodeArena::~NodeArena), so a non-zero return here is a latency
+// concern, not a leak.
 std::size_t ReapZombieQNodes();
+
+// Scans the orphanage — zombie nodes whose owning thread exited before a
+// granter released its pin — and returns every node whose status reads
+// kReclaimed (acquire) to the slab, decrementing the zombie gauge. Any
+// thread may call this; KvServer::Stop() drains through it. Returns the
+// number of nodes reclaimed by this call.
+std::size_t ScavengeOrphanQNodes();
+
+// Orphaned zombie nodes currently parked in the orphanage (subset of
+// OutstandingZombieQNodes()). Test/diagnostic surface.
+std::size_t OrphanedQNodes();
+
+// The process-wide QNode slab (test/diagnostic surface: memory-flatness
+// checks read BytesReserved()/SlotsLive()).
+SlabAllocator<QNode>& QNodeSlab();
 
 // A waiter whose Await exited on kClaimed was picked by a linking granter
 // (graft/refill/rotation) that has not yet committed the grant; the commit

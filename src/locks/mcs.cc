@@ -1,60 +1,69 @@
 #include "src/locks/mcs.h"
 
-#include <new>
 #include <vector>
+
+#include "src/alloc/slab.h"
 
 namespace malthus {
 namespace {
 
-// Thread-local slab arena backing QNodes. Nodes are carved out of
-// cache-line-aligned slabs of kSlabNodes contiguous nodes, owned by the
-// arena; they are recycled across locks but never cross threads (a node is
-// always released by the thread that acquired it, so no synchronization).
-//
-// Compared to one heap allocation per node, slabs (a) guarantee the
-// alignas(kCacheLineSize) on QNode is honored without per-node allocator
-// padding waste, and (b) keep one thread's nodes densely packed: since
-// sizeof(QNode) == one interference region, adjacent waiters' grant flags
-// never share a line, while a single thread's working set of nodes spans
-// the fewest possible pages.
 // Process-wide gauge of zombied (cancelled, not yet reclaimed-and-reaped)
 // nodes. Leak tests drain lock activity and assert it returns to zero.
 std::atomic<std::uint64_t> g_outstanding_zombies{0};
 
+// Zombie nodes whose owning thread exited while a granter still held the
+// reclaim pin. The exiting arena parks them here instead of leaking its
+// slab (the old behavior); any thread can later scavenge the ones whose
+// status has reached kReclaimed back into the slab. Guarded by a TinyLock —
+// the orphanage is touched only on thread exit and in drain loops, never
+// on a lock fast path.
+struct QNodeOrphanage {
+  slab_detail::TinyLock lock;
+  std::vector<QNode*> nodes;
+};
+
+QNodeOrphanage& Orphanage() {
+  static QNodeOrphanage orphanage;
+  return orphanage;
+}
+
+// Thread-local pool of QNodes checked out of the process-wide slab
+// (QNodeSlab). Nodes are recycled across locks but never cross threads
+// while checked out (a node is always released by the thread that acquired
+// it, so the free list needs no synchronization); the slab underneath
+// keeps each node cache-line aligned and densely packed, so adjacent
+// waiters' grant flags never share a line while one thread's working set
+// spans the fewest possible pages.
 struct NodeArena {
-  static constexpr std::size_t kSlabNodes = 16;
+  static constexpr std::size_t kRefillBatch = 16;
 
   std::vector<QNode*> free_list;
   // Cancelled nodes a granter may still touch; reaped (status ==
   // kReclaimed, acquire) back into free_list on the next AcquireQNode.
   std::vector<QNode*> zombies;
-  std::vector<void*> slabs;
 
+  // Thread exit: every node this thread checked out goes back to the slab.
+  // Free nodes return directly. Zombies are reaped one last time; any still
+  // pinned by an in-flight granter move to the orphanage (their gauge count
+  // rides along) so the memory is reclaimed as soon as the granter's
+  // kReclaimed store lands and someone scavenges — nothing is leaked.
   ~NodeArena() {
     Reap();
-    if (!zombies.empty()) {
-      // A granter somewhere may still write kReclaimed into one of these
-      // nodes; freeing the slabs would be use-after-free. Leak them — the
-      // leak is bounded by cancelled-but-unreclaimed nodes at thread exit
-      // and stays visible through OutstandingZombieQNodes(). (The gauge is
-      // deliberately NOT decremented: these nodes are gone for good.)
-      return;
+    for (QNode* n : free_list) {
+      QNodeSlab().Return(n);
     }
-    // Nodes are quiescent at thread exit (the thread cannot be waiting on a
-    // lock while running its TLS destructors) and QNode is trivially
-    // destructible, so the raw slabs can simply be returned.
-    for (void* slab : slabs) {
-      ::operator delete(slab, std::align_val_t{alignof(QNode)});
+    if (!zombies.empty()) {
+      QNodeOrphanage& o = Orphanage();
+      o.lock.lock();
+      o.nodes.insert(o.nodes.end(), zombies.begin(), zombies.end());
+      o.lock.unlock();
     }
   }
 
   void Refill() {
-    void* raw = ::operator new(kSlabNodes * sizeof(QNode), std::align_val_t{alignof(QNode)});
-    slabs.push_back(raw);
-    auto* nodes = static_cast<QNode*>(raw);
-    free_list.reserve(free_list.size() + kSlabNodes);
-    for (std::size_t i = kSlabNodes; i-- > 0;) {
-      free_list.push_back(new (&nodes[i]) QNode());
+    free_list.reserve(free_list.size() + kRefillBatch);
+    for (std::size_t i = 0; i < kRefillBatch; ++i) {
+      free_list.push_back(QNodeSlab().Checkout().obj);
     }
   }
 
@@ -110,6 +119,38 @@ std::size_t ReapZombieQNodes() {
   NodeArena& arena = Arena();
   arena.Reap();
   return arena.zombies.size();
+}
+
+std::size_t ScavengeOrphanQNodes() {
+  QNodeOrphanage& o = Orphanage();
+  o.lock.lock();
+  std::size_t kept = 0;
+  std::size_t reclaimed = 0;
+  for (QNode* n : o.nodes) {
+    if (n->status.load(std::memory_order_acquire) == kReclaimed) {
+      QNodeSlab().Return(n);
+      g_outstanding_zombies.fetch_sub(1, std::memory_order_relaxed);
+      ++reclaimed;
+    } else {
+      o.nodes[kept++] = n;
+    }
+  }
+  o.nodes.resize(kept);
+  o.lock.unlock();
+  return reclaimed;
+}
+
+std::size_t OrphanedQNodes() {
+  QNodeOrphanage& o = Orphanage();
+  o.lock.lock();
+  const std::size_t n = o.nodes.size();
+  o.lock.unlock();
+  return n;
+}
+
+SlabAllocator<QNode>& QNodeSlab() {
+  static SlabAllocator<QNode> slab;
+  return slab;
 }
 
 // Instantiation anchors so template code is compiled (and its warnings

@@ -125,8 +125,9 @@ class McsLock {
       QNode* next = owner_->next.load(std::memory_order_acquire);
       if (next != nullptr) {
         // The chain pins `next` (its thread is blocked in Await until we
-        // grant), so its Parker is safe to poke.
-        next->parker->WakeAhead();
+        // grant), so the generation-validated poke lands on the right
+        // tenancy; a concurrent cancel at worst wastes the hint.
+        next->wake_ref().WakeAhead();
       }
     }
   }
@@ -153,14 +154,15 @@ class McsLock {
       }
       // Chaos: widen the grant-vs-cancel window before committing.
       MALTHUS_FAILPOINT("mcs.grant");
-      // The waiter may recycle (or, at thread exit, free) its node as soon
-      // as it observes the grant, so the wake channel is read before the
-      // CAS. The Parker itself stays valid even past thread exit: ThreadCtx
-      // is intentionally leaked (see thread_registry.cc), so the post-grant
-      // Wake can never dangle. owner_ is written before the CAS — only the
-      // thread that observes kGranted ever reads it, so the speculative
+      // The waiter may recycle its node as soon as it observes the grant,
+      // so the wake channel is read before the CAS. The ParkerRef stays
+      // safe even past thread exit: ThreadCtx memory is type-stable (slab,
+      // see alloc/slab.h) so the post-grant Wake can never fault, and its
+      // generation check turns a wake aimed at an exited waiter's recycled
+      // slot into a counted no-op. owner_ is written before the CAS — only
+      // the thread that observes kGranted ever reads it, so the speculative
       // store is dead if the CAS fails.
-      Parker* parker = next->parker;
+      const ParkerRef wake = next->wake_ref();
       owner_ = next;
       std::uint32_t expected = kWaiting;
       // Release pairs with the acquire load in the waiter's Await: it
@@ -169,7 +171,12 @@ class McsLock {
       // the husk walk itself.
       if (next->status.compare_exchange_strong(expected, kGranted, std::memory_order_release,
                                                std::memory_order_relaxed)) {
-        WaitPolicy::Wake(*parker);
+        // Chaos: widen the grant-committed-vs-wake window. This is the
+        // stale-wake window the generation check closes: the granted waiter
+        // may run, unlock, exit, and have its ThreadCtx recycled before the
+        // Wake below fires.
+        MALTHUS_FAILPOINT("mcs.wake");
+        WaitPolicy::Wake(wake);
         Retire(node, me);
         return;
       }

@@ -74,11 +74,11 @@ void PthreadStyleMutex::WakeOneWaiter() {
     }
     // Chaos: widen the pop-vs-timeout window before the heir-selection CAS.
     MALTHUS_FAILPOINT("pthread.pop");
-    Parker* parker = node->parker;  // Read before the CAS: see header note.
+    const ParkerRef wake = node->wake;  // Copy before the CAS: see header note.
     std::uint32_t expected = kOnStack;
     if (node->state.compare_exchange_strong(expected, kPopped, std::memory_order_acq_rel,
                                             std::memory_order_acquire)) {
-      parker->Unpark();
+      wake.Unpark();
       break;
     }
     // Abandoned: the enqueuer self-acquired and transferred ownership to us.
@@ -101,11 +101,12 @@ void PthreadStyleMutex::PrepareHandover() {
   for (int i = 0; node != nullptr && i < kHintScanLimit; ++i) {
     // Nodes reachable from the stack are either pinned by a waiter
     // (kOnStack) or owned by poppers (kAbandoned) — and we hold the pop
-    // lock — so the walk cannot touch freed memory. Parkers outlive their
-    // threads (the registry leaks ThreadCtx), so a raced state transition
-    // after this check at worst posts a stale permit.
+    // lock — so the walk cannot touch freed memory. The wake ref is
+    // generation-validated, so a raced state transition after this check
+    // at worst posts a stale permit — and if the waiter's thread already
+    // exited, not even that: the hint is suppressed.
     if (node->state.load(std::memory_order_acquire) == kOnStack) {
-      node->parker->WakeAhead();
+      node->wake.WakeAhead();
       break;
     }
     node = node->next;
@@ -136,7 +137,7 @@ void PthreadStyleMutex::lock() {
 
   // Phase 2: enqueue and park.
   WaitNode* node = new WaitNode();
-  node->parker = &self.parker;
+  node->wake = SelfWakeRef(self);
   while (true) {
     node->state.store(kOnStack, std::memory_order_relaxed);
     node->next = nullptr;
@@ -203,7 +204,7 @@ bool PthreadStyleMutex::TryLockUntil(std::chrono::steady_clock::time_point deadl
 
   // Phase 2: enqueue and park with a deadline.
   WaitNode* node = new WaitNode();
-  node->parker = &self.parker;
+  node->wake = SelfWakeRef(self);
   while (true) {
     node->state.store(kOnStack, std::memory_order_relaxed);
     node->next = nullptr;

@@ -20,9 +20,12 @@
 //     the node kOnStack→kAbandoned, transferring ownership (and the duty to
 //     free it) to whichever popper later removes it; poppers skip abandoned
 //     nodes so a wake is never wasted on a thread that is no longer waiting.
-//   * A popper reads node->parker *before* its kOnStack→kPopped CAS and
+//   * A popper copies node->wake *before* its kOnStack→kPopped CAS and
 //     never touches the node afterwards, so the waiter may reuse or free the
-//     node as soon as it observes kPopped.
+//     node as soon as it observes kPopped. The copied ParkerRef is
+//     generation-validated: if the waiter's thread has since exited and its
+//     ThreadCtx slot was recycled, the late Unpark is a suppressed no-op
+//     rather than a poke at a stranger's parker.
 #ifndef MALTHUS_SRC_LOCKS_PTHREAD_STYLE_H_
 #define MALTHUS_SRC_LOCKS_PTHREAD_STYLE_H_
 
@@ -92,7 +95,9 @@ class PthreadStyleMutex {
   struct alignas(kCacheLineSize) WaitNode {
     std::atomic<std::uint32_t> state{kOnStack};
     WaitNode* next = nullptr;
-    Parker* parker = nullptr;
+    // Generation-validated wake channel (see header note): copied by the
+    // popper before the node changes hands.
+    ParkerRef wake;
   };
 
   bool TryAcquire() {

@@ -1,28 +1,84 @@
 #include "src/platform/thread_registry.h"
 
+#include <vector>
+
 namespace malthus {
 namespace {
 
-std::atomic<ThreadId> g_next_id{0};
+// High-water mark of ids ever handed out. Ids themselves are recycled via
+// the free list below, so concurrently-live threads always hold distinct
+// ids while the count stays a stable upper bound on participants.
+std::atomic<ThreadId> g_high_water{0};
+
+slab_detail::TinyLock g_id_lock;
+
+std::vector<ThreadId>& FreeIds() {
+  static std::vector<ThreadId> ids;
+  return ids;
+}
+
+ThreadId AllocId() {
+  g_id_lock.lock();
+  std::vector<ThreadId>& ids = FreeIds();
+  ThreadId id;
+  if (!ids.empty()) {
+    id = ids.back();
+    ids.pop_back();
+  } else {
+    id = g_high_water.fetch_add(1, std::memory_order_relaxed);
+  }
+  g_id_lock.unlock();
+  return id;
+}
+
+void RecycleId(ThreadId id) {
+  g_id_lock.lock();
+  FreeIds().push_back(id);
+  g_id_lock.unlock();
+}
+
+// RAII tenancy of a slab slot: checkout on the thread's first Self() call,
+// return on thread exit. thread_local destructors run before static
+// destructors (and before ThreadCtxSlab() itself is torn down) on every
+// conforming libc, so well-behaved threads always return their slot.
+struct CtxHolder {
+  ThreadCtx* ctx;
+
+  CtxHolder() {
+    ctx = ThreadCtxSlab().Checkout().obj;
+    ctx->id = AllocId();
+    ctx->forced_node = UINT32_MAX;
+    // A stale wake aimed at the previous tenant may have landed after the
+    // slot was returned (the documented benign race); start neutral.
+    ctx->parker.DrainPermit();
+  }
+
+  ~CtxHolder() {
+    ctx->parker.DrainPermit();
+    RecycleId(ctx->id);
+    ctx->id = kInvalidThreadId;
+    ThreadCtxSlab().Return(ctx);
+  }
+};
 
 }  // namespace
 
 ThreadCtx& Self() {
-  // The context is heap-allocated and deliberately never freed: a granter
-  // may still poke the Parker in the window between publishing the grant
-  // flag and issuing the wake, after the woken thread has already moved on
-  // — or even exited. With thread-storage-duration contexts that poke is a
-  // use-after-free; with leaked contexts it is a harmless store. One
-  // cache-aligned block per registered thread, ids are never reused, so
-  // the "leak" is bounded by the process's historical thread count.
-  thread_local ThreadCtx* ctx = [] {
-    auto* c = new ThreadCtx;
-    c->id = g_next_id.fetch_add(1, std::memory_order_relaxed);
-    return c;
-  }();
-  return *ctx;
+  thread_local CtxHolder holder;
+  return *holder.ctx;
 }
 
-ThreadId RegisteredThreadCount() { return g_next_id.load(std::memory_order_relaxed); }
+ThreadId RegisteredThreadCount() {
+  return g_high_water.load(std::memory_order_relaxed);
+}
+
+std::uint64_t StaleWakesSuppressed() {
+  return detail::g_stale_wakes_suppressed.load(std::memory_order_relaxed);
+}
+
+SlabAllocator<ThreadCtx>& ThreadCtxSlab() {
+  static SlabAllocator<ThreadCtx> slab;
+  return slab;
+}
 
 }  // namespace malthus

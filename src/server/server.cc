@@ -68,17 +68,34 @@ void KvServer::Stop() {
     TenantRef(r.tenant).shed_at_stop.fetch_add(1, std::memory_order_relaxed);
   }
   // Teardown hygiene check. Workers reaped their own zombie QNodes before
-  // retiring (WorkerLoop epilogue); anything still outstanding above the
-  // Start() baseline is a husk pinned by a granter that no longer exists —
-  // a genuine leak that would accumulate across server restarts. The gauge
-  // is process-wide, so allow a short grace period for unrelated threads'
-  // in-flight reclaims to land before declaring the leak.
-  const auto deadline =
-      std::chrono::steady_clock::now() + std::chrono::milliseconds(500);
-  while (OutstandingZombieQNodes() > zombie_baseline_ &&
-         std::chrono::steady_clock::now() < deadline) {
+  // retiring (WorkerLoop epilogue); husks still pinned at thread exit moved
+  // to the orphanage, where any thread may scavenge them once their
+  // granters store kReclaimed. Drain the gauge back to the Start() baseline
+  // with a progress-tracking loop: keep scavenging as long as the count
+  // keeps dropping, give up only when it stalls for kStallWindow (or the
+  // hard deadline lapses). A gauge stuck above baseline means a granter
+  // never released its pin — a genuine husk leak that would accumulate
+  // across server restarts, so abort rather than mask it.
+  constexpr auto kStallWindow = std::chrono::milliseconds(500);
+  constexpr auto kHardDeadline = std::chrono::seconds(5);
+  const auto drain_start = std::chrono::steady_clock::now();
+  std::uint64_t last = OutstandingZombieQNodes();
+  auto last_progress = drain_start;
+  while (last > zombie_baseline_) {
+    ScavengeOrphanQNodes();
+    const std::uint64_t gauge = OutstandingZombieQNodes();
+    const auto now = std::chrono::steady_clock::now();
+    if (gauge < last) {
+      last = gauge;
+      last_progress = now;
+      continue;
+    }
+    if (now - last_progress >= kStallWindow || now - drain_start >= kHardDeadline) {
+      break;
+    }
     std::this_thread::yield();
   }
+  ScavengeOrphanQNodes();
   const std::uint64_t outstanding = OutstandingZombieQNodes();
   if (outstanding > zombie_baseline_) {
     std::fprintf(stderr,
@@ -125,8 +142,9 @@ void KvServer::WorkerLoop() {
   }
   // Worker retirement: short-lived pool threads must not leak timed-waiter
   // husks. Reap this thread's zombie QNodes (bounded wait for granters to
-  // release their pins) and drain any stale permit so the Parker retires
-  // neutral.
+  // release their pins — anything still pinned when the thread exits lands
+  // in the orphanage for Stop() to scavenge) and drain any stale permit so
+  // the Parker retires neutral.
   const auto deadline =
       std::chrono::steady_clock::now() + std::chrono::milliseconds(200);
   while (ReapZombieQNodes() > 0 &&

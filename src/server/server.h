@@ -121,9 +121,10 @@ class KvServer {
 
   // Stops accepting work, joins workers, accounts still-queued requests as
   // shed, and verifies teardown hygiene: every worker drains its QNode
-  // zombies and Parker permit before retiring, and Stop() aborts if worker
-  // churn leaked timed-waiter husks (OutstandingZombieQNodes above the
-  // Start() baseline).
+  // zombies and Parker permit before retiring; Stop() then scavenges
+  // orphaned husks in a progress-tracking retry loop (bounded stall window
+  // + hard deadline) and aborts only if the zombie gauge is genuinely stuck
+  // above the Start() baseline — i.e. a granter never released its pin.
   void Stop();
 
   bool running() const { return running_; }

@@ -23,9 +23,11 @@
 //     — block until *flag != expected. `budget` is either a raw iteration
 //       count or an AdaptiveSpinBudget the policy both consults and feeds
 //       with observed parked-handover latencies.
-//   Wake(parker)
+//   Wake(parker) / Wake(ParkerRef)
 //     — called by the granter after the flag write; a no-op for pure
-//       spinning.
+//       spinning. Granters that may outlive the waiter's thread pass a
+//       generation-validated ParkerRef (see platform/thread_registry.h)
+//       so a wake aimed at an exited waiter's recycled slot is suppressed.
 //
 // The flag is the waiter's own node status (local spinning): at most one
 // thread spins on a given line, minimizing the invalidation diameter.
@@ -50,6 +52,7 @@
 #include "src/platform/cpu.h"
 #include "src/platform/park.h"
 #include "src/platform/sysinfo.h"
+#include "src/platform/thread_registry.h"
 #include "src/waiting/backoff.h"
 #include "src/waiting/spin_budget.h"
 
@@ -182,6 +185,7 @@ struct SpinPolicy {
   }
 
   static void Wake(Parker& /*parker*/) {}
+  static void Wake(const ParkerRef& /*ref*/) {}
 };
 
 // Number of threads currently spinning under YieldingSpinPolicy.
@@ -259,6 +263,7 @@ struct YieldingSpinPolicy {
   }
 
   static void Wake(Parker& /*parker*/) {}
+  static void Wake(const ParkerRef& /*ref*/) {}
 
  private:
   static bool Oversubscribed() {
@@ -382,6 +387,7 @@ struct SpinThenParkPolicy {
   }
 
   static void Wake(Parker& parker) { parker.Unpark(); }
+  static void Wake(const ParkerRef& ref) { ref.Unpark(); }
 
  private:
   template <typename T>
@@ -458,6 +464,7 @@ struct ParkPolicy {
   }
 
   static void Wake(Parker& parker) { parker.Unpark(); }
+  static void Wake(const ParkerRef& ref) { ref.Unpark(); }
 };
 
 }  // namespace malthus
